@@ -1,0 +1,299 @@
+package heapmd
+
+// Benchmark harness: one testing.B benchmark per table and figure of
+// the paper's evaluation, each regenerating its artifact at reduced
+// (Quick) scale per iteration, plus ablation benchmarks for the
+// design choices DESIGN.md calls out:
+//
+//   - object- vs field-granularity heap graphs (paper Figure 3),
+//   - incremental degree histograms vs full recomputation,
+//   - metric sampling frequency,
+//   - the trace-recording overhead of post-mortem mode.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The per-figure benchmarks exist so `go test -bench` regenerates the
+// whole evaluation; for paper-scale output with the printed tables use
+// cmd/heapmd-experiments.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"heapmd/internal/event"
+	"heapmd/internal/experiments"
+	"heapmd/internal/heap"
+	"heapmd/internal/heapgraph"
+	"heapmd/internal/logger"
+	"heapmd/internal/metrics"
+	"heapmd/internal/model"
+	"heapmd/internal/trace"
+	"heapmd/internal/workloads"
+)
+
+var quick = experiments.Config{Quick: true}
+
+func benchExperiment(b *testing.B, run func() error) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates the vpr metric trajectories.
+func BenchmarkFigure4(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.Figure4(quick); return err })
+}
+
+// BenchmarkFigure5 regenerates the vpr fluctuation series.
+func BenchmarkFigure5(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.Figure5(quick); return err })
+}
+
+// BenchmarkFigure6 regenerates the vpr stability statistics table.
+func BenchmarkFigure6(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.Figure6(quick); return err })
+}
+
+// BenchmarkFigure7A regenerates the stable-metrics table across all
+// 13 benchmarks.
+func BenchmarkFigure7A(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.Figure7A(quick); return err })
+}
+
+// BenchmarkFigure7B regenerates the cross-version stability table.
+func BenchmarkFigure7B(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.Figure7B(quick); return err })
+}
+
+// BenchmarkFigure10 regenerates the PC Game/Action range-violation
+// trace.
+func BenchmarkFigure10(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.Figure10(quick); return err })
+}
+
+// BenchmarkTable1 regenerates the SWAT-vs-HeapMD leak comparison.
+func BenchmarkTable1(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.Table1(quick); return err })
+}
+
+// BenchmarkTable2 regenerates the 40-bug census.
+func BenchmarkTable2(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.Table2(quick); return err })
+}
+
+// BenchmarkSPECInjection regenerates the Section 4.2 injected-bug
+// validation.
+func BenchmarkSPECInjection(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.SPECInjection(quick); return err })
+}
+
+// BenchmarkThresholdSweep regenerates the Section 3 threshold
+// resilience study.
+func BenchmarkThresholdSweep(b *testing.B) {
+	benchExperiment(b, func() error { _, err := experiments.ThresholdSweep(quick); return err })
+}
+
+// ---------------------------------------------------------------------------
+// Ablations.
+
+// BenchmarkGranularityAblation compares instrumentation cost at
+// object vs field granularity on the same workload (paper Figure 3:
+// field granularity multiplies vertex counts and makes metrics layout-
+// sensitive; this measures what it costs).
+func BenchmarkGranularityAblation(b *testing.B) {
+	for _, gran := range []logger.Granularity{logger.ObjectGranularity, logger.FieldGranularity} {
+		b.Run(gran.String(), func(b *testing.B) {
+			w, err := workloads.Get("productivity")
+			if err != nil {
+				b.Fatal(err)
+			}
+			in := w.Inputs(1)[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, err := workloads.RunLogged(w, in, workloads.RunConfig{
+					Logger: logger.Options{Granularity: gran, Frequency: 16},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalVsRecompute quantifies the central data-
+// structure decision: HeapMD's logger answers degree queries from
+// incrementally maintained histograms in O(1); the alternative scans
+// every vertex per metric computation point.
+func BenchmarkIncrementalVsRecompute(b *testing.B) {
+	build := func() *heapgraph.Graph {
+		g := heapgraph.New()
+		for i := 0; i < 50000; i++ {
+			g.AddVertex(heapgraph.VertexID(i))
+		}
+		for i := 0; i < 50000; i++ {
+			g.AddEdge(heapgraph.VertexID(i), heapgraph.VertexID((i*7+13)%50000))
+		}
+		return g
+	}
+	b.Run("incremental-histograms", func(b *testing.B) {
+		g := build()
+		suite := metrics.DefaultSuite()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			suite.Compute(g, uint64(i))
+		}
+	})
+	b.Run("full-recompute", func(b *testing.B) {
+		g := build()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Scan every vertex, recomputing each degree count the
+			// way a histogram-less implementation would.
+			var in0, in1, in2, out0, out1, out2, eq int
+			g.Vertices(func(v heapgraph.VertexID) bool {
+				id, od := g.InDegree(v), g.OutDegree(v)
+				switch id {
+				case 0:
+					in0++
+				case 1:
+					in1++
+				case 2:
+					in2++
+				}
+				switch od {
+				case 0:
+					out0++
+				case 1:
+					out1++
+				case 2:
+					out2++
+				}
+				if id == od {
+					eq++
+				}
+				return true
+			})
+			_ = in0 + in1 + in2 + out0 + out1 + out2 + eq
+		}
+	})
+}
+
+// BenchmarkSamplingFrequency sweeps the metric computation frequency
+// (the paper's frq): the instrumentation overhead of one full run at
+// each setting.
+func BenchmarkSamplingFrequency(b *testing.B) {
+	w, err := workloads.Get("gzip")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Inputs(1)[0]
+	for _, frq := range []uint64{4, 16, 64, 256} {
+		b.Run(fmt.Sprintf("frq-%d", frq), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, _, err := workloads.RunLogged(w, in, workloads.RunConfig{
+					Logger: logger.Options{Frequency: frq},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInstrumentationOverhead compares a run with no observers,
+// with the execution logger, and with logger + trace recording — the
+// paper reports a 2-3x slowdown for its instrumentation; this measures
+// ours.
+func BenchmarkInstrumentationOverhead(b *testing.B) {
+	w, err := workloads.Get("crafty")
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := w.Inputs(1)[0]
+	b.Run("logger-only", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := workloads.RunLogged(w, in, workloads.RunConfig{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("logger-plus-trace", func(b *testing.B) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			tw, err := trace.NewWriter(&buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, p, err := workloads.RunLogged(w, in, workloads.RunConfig{
+				ExtraSinks: []event.Sink{tw},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := tw.Close(p.Sym()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkModelBuild measures summarizer cost at paper-ish training
+// sizes.
+func BenchmarkModelBuild(b *testing.B) {
+	w, err := workloads.Get("parser")
+	if err != nil {
+		b.Fatal(err)
+	}
+	reports, err := workloads.Train(w, 10, workloads.RunConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := model.Build(reports, model.Defaults()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHeapSimulator measures raw simulated-heap throughput — the
+// substrate every experiment stands on.
+func BenchmarkHeapSimulator(b *testing.B) {
+	s := heap.New()
+	var addrs []uint64
+	for i := 0; i < 4096; i++ {
+		a, err := s.Alloc(32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		addrs = append(addrs, a)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := addrs[i%4096]
+		dst := addrs[(i*31+7)%4096]
+		if err := s.Store(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

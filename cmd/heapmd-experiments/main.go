@@ -1,0 +1,73 @@
+// Command heapmd-experiments regenerates every table and figure of
+// the paper's evaluation. Without flags it runs everything at paper
+// scale; individual artifacts can be selected, and -quick caps input
+// counts for a fast smoke run.
+//
+// Usage:
+//
+//	heapmd-experiments                 # everything, paper scale
+//	heapmd-experiments -quick          # everything, reduced scale
+//	heapmd-experiments -fig 7a         # one figure (4, 5, 6, 7a, 7b, 10)
+//	heapmd-experiments -table 2        # one table (1, 2)
+//	heapmd-experiments -exp injection  # extra studies (injection, thresholds)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"heapmd/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 4, 5, 6, 7a, 7b, 10")
+	table := flag.String("table", "", "table to regenerate: 1, 2")
+	exp := flag.String("exp", "", "extra study: injection, thresholds, granularity")
+	quick := flag.Bool("quick", false, "cap input counts for a fast run")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick}
+	all := *fig == "" && *table == "" && *exp == ""
+
+	type job struct {
+		name string
+		want bool
+		run  func() (fmt.Stringer, error)
+	}
+	jobs := []job{
+		{"Figure 4", all || *fig == "4", func() (fmt.Stringer, error) { return experiments.Figure4(cfg) }},
+		{"Figure 5", all || *fig == "5", func() (fmt.Stringer, error) { return experiments.Figure5(cfg) }},
+		{"Figure 6", all || *fig == "6", func() (fmt.Stringer, error) { return experiments.Figure6(cfg) }},
+		{"Figure 7(A)", all || *fig == "7a", func() (fmt.Stringer, error) { return experiments.Figure7A(cfg) }},
+		{"Figure 7(B)", all || *fig == "7b", func() (fmt.Stringer, error) { return experiments.Figure7B(cfg) }},
+		{"Figure 10", all || *fig == "10", func() (fmt.Stringer, error) { return experiments.Figure10(cfg) }},
+		{"Table 1", all || *table == "1", func() (fmt.Stringer, error) { return experiments.Table1(cfg) }},
+		{"Table 2", all || *table == "2", func() (fmt.Stringer, error) { return experiments.Table2(cfg) }},
+		{"SPEC injection (Section 4.2)", all || *exp == "injection", func() (fmt.Stringer, error) { return experiments.SPECInjection(cfg) }},
+		{"Granularity (Figure 3)", all || *exp == "granularity", func() (fmt.Stringer, error) { return experiments.Granularity(cfg) }},
+		{"Threshold sweep (Section 3)", all || *exp == "thresholds", func() (fmt.Stringer, error) { return experiments.ThresholdSweep(cfg) }},
+	}
+	ran := 0
+	for _, j := range jobs {
+		if !j.want {
+			continue
+		}
+		ran++
+		start := time.Now()
+		res, err := j.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", j.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("================================================================\n")
+		fmt.Printf("%s  (%.1fs)\n", j.name, time.Since(start).Seconds())
+		fmt.Printf("================================================================\n")
+		fmt.Println(res)
+	}
+	if ran == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

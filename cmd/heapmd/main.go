@@ -1,0 +1,273 @@
+// Command heapmd drives the HeapMD pipeline against the bundled
+// benchmark workloads: train a heap-behaviour model on clean inputs,
+// check further runs (optionally with injected faults) against a
+// model, and plot metric trajectories — the command-line counterpart
+// of the paper's Figure 2 architecture.
+//
+// Usage:
+//
+//	heapmd list
+//	heapmd train -workload gzip -inputs 25 -o gzip.model
+//	heapmd check -workload gzip -model gzip.model [-fault dlist-missing-prev[:prob]] [-inputs 5]
+//	heapmd plot  -workload vpr -metric Outdeg=1 [-model vpr.model] [-fault ...]
+//	heapmd faults
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"heapmd/internal/detect"
+	"heapmd/internal/faults"
+	"heapmd/internal/metrics"
+	"heapmd/internal/model"
+	"heapmd/internal/plot"
+	"heapmd/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "list":
+		err = cmdList()
+	case "faults":
+		err = cmdFaults()
+	case "train":
+		err = cmdTrain(os.Args[2:])
+	case "check":
+		err = cmdCheck(os.Args[2:])
+	case "plot":
+		err = cmdPlot(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "heapmd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  heapmd list                                    list bundled workloads
+  heapmd faults                                  list injectable faults
+  heapmd train -workload W [-inputs N] -o FILE   build a model from clean runs
+  heapmd check -workload W -model FILE [flags]   check held-out runs
+  heapmd plot  -workload W -metric M [flags]     plot a metric trajectory`)
+}
+
+func cmdList() error {
+	fmt.Printf("%-13s %-11s %-10s %s\n", "Workload", "Class", "Stable", "Models")
+	for _, w := range workloads.All() {
+		fmt.Printf("%-13s %-11s %-10s %s\n", w.Name(), w.Class(), w.StableMetric(), w.Description())
+	}
+	return nil
+}
+
+func cmdFaults() error {
+	rows := []struct{ name, desc string }{
+		{faults.DListNoPrev, "skip prev pointers on doubly-linked-list insert (Figure 1)"},
+		{faults.TypoLeak, "wrong-index table copy leaks property lists (Figure 11)"},
+		{faults.SharedFree, "free shared circular-list head, dangling tail (Figure 12)"},
+		{faults.TreeNoParent, "omit child->parent pointers on tree insert (Figure 10)"},
+		{faults.OctDAG, "share oct-tree subtrees, producing an oct-DAG (poorly disguised)"},
+		{faults.BadHash, "degenerate hash function, long collision chains (indirect)"},
+		{faults.SingleChild, "binary-tree builder emits one child, not two (indirect)"},
+		{faults.AtypicalGraph, "adjacency-list generator collapses to a star (indirect)"},
+		{faults.SmallLeak, "leak a handful of objects (well disguised: should NOT fire)"},
+		{faults.ReachableLeak, "grow a never-accessed reachable cache (invisible to HeapMD)"},
+	}
+	for _, r := range rows {
+		fmt.Printf("%-24s %s\n", r.name, r.desc)
+	}
+	return nil
+}
+
+func cmdTrain(args []string) error {
+	fs := flag.NewFlagSet("train", flag.ExitOnError)
+	name := fs.String("workload", "", "workload to train on (see 'heapmd list')")
+	inputs := fs.Int("inputs", 25, "number of training inputs")
+	out := fs.String("o", "", "output model file (default: stdout)")
+	version := fs.Int("version", 1, "development version (commercial workloads)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workloads.Get(*name)
+	if err != nil {
+		return err
+	}
+	reports, err := workloads.Train(w, *inputs, workloads.RunConfig{Version: *version})
+	if err != nil {
+		return err
+	}
+	res, err := model.Build(reports, model.Defaults())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "trained %s on %d inputs: %d globally stable metrics\n",
+		w.Name(), *inputs, res.StableCount())
+	for _, mr := range res.Reports {
+		fmt.Fprintf(os.Stderr, "  %-9s %-16s", mr.Metric, mr.Klass)
+		if _, ok := res.Model.Stable[mr.Metric]; ok {
+			rng := res.Model.Stable[mr.Metric]
+			fmt.Fprintf(os.Stderr, " range=[%.2f, %.2f]", rng.Min, rng.Max)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	return res.Model.Save(dst)
+}
+
+// parseFault parses "name[:prob[:maxTriggers]]".
+func parseFault(spec string) (string, faults.Config, error) {
+	parts := strings.Split(spec, ":")
+	cfg := faults.Config{}
+	switch len(parts) {
+	case 3:
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return "", cfg, fmt.Errorf("bad max triggers %q", parts[2])
+		}
+		cfg.MaxTriggers = n
+		fallthrough
+	case 2:
+		p, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return "", cfg, fmt.Errorf("bad probability %q", parts[1])
+		}
+		cfg.Prob = p
+		fallthrough
+	case 1:
+		return parts[0], cfg, nil
+	default:
+		return "", cfg, fmt.Errorf("bad fault spec %q", spec)
+	}
+}
+
+func cmdCheck(args []string) error {
+	fs := flag.NewFlagSet("check", flag.ExitOnError)
+	name := fs.String("workload", "", "workload to check")
+	modelPath := fs.String("model", "", "model file from 'heapmd train'")
+	faultSpec := fs.String("fault", "", "fault to inject: name[:prob[:max]] (see 'heapmd faults')")
+	nTest := fs.Int("inputs", 5, "number of held-out inputs to check")
+	skip := fs.Int("skip", 25, "skip the first N inputs (assumed used for training)")
+	version := fs.Int("version", 1, "development version")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workloads.Get(*name)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	mdl, err := model.Load(f)
+	f.Close()
+	if err != nil {
+		return err
+	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		fname, cfg, err := parseFault(*faultSpec)
+		if err != nil {
+			return err
+		}
+		plan = faults.NewPlan().Enable(fname, cfg)
+	}
+	all := w.Inputs(*skip + *nTest)
+	total := 0
+	for _, in := range all[*skip:] {
+		rep, p, err := workloads.RunLogged(w, in, workloads.RunConfig{Plan: plan, Version: *version})
+		if err != nil {
+			fmt.Printf("%s: run crashed: %v\n", in.Name, err)
+			continue
+		}
+		findings := detect.CheckReport(mdl, rep, detect.Options{})
+		if len(findings) == 0 {
+			fmt.Printf("%s: clean\n", in.Name)
+			continue
+		}
+		total += len(findings)
+		fmt.Printf("%s: %d findings\n", in.Name, len(findings))
+		for _, fd := range findings {
+			fmt.Printf("  %s\n", fd.Describe(p.Sym()))
+		}
+	}
+	fmt.Printf("total findings: %d\n", total)
+	return nil
+}
+
+func cmdPlot(args []string) error {
+	fs := flag.NewFlagSet("plot", flag.ExitOnError)
+	name := fs.String("workload", "", "workload to run")
+	metricName := fs.String("metric", "Indeg=1", "metric to plot")
+	modelPath := fs.String("model", "", "optional model file: draws calibrated bounds")
+	faultSpec := fs.String("fault", "", "fault to inject: name[:prob[:max]]")
+	inputIdx := fs.Int("input", 0, "input index to run")
+	version := fs.Int("version", 1, "development version")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := workloads.Get(*name)
+	if err != nil {
+		return err
+	}
+	id, err := metrics.ParseID(*metricName)
+	if err != nil {
+		return err
+	}
+	var plan *faults.Plan
+	if *faultSpec != "" {
+		fname, cfg, err := parseFault(*faultSpec)
+		if err != nil {
+			return err
+		}
+		plan = faults.NewPlan().Enable(fname, cfg)
+	}
+	in := w.Inputs(*inputIdx + 1)[*inputIdx]
+	rep, _, err := workloads.RunLogged(w, in, workloads.RunConfig{Plan: plan, Version: *version})
+	if err != nil {
+		return err
+	}
+	opts := plot.Options{
+		Title:  fmt.Sprintf("%s on %s: %s", w.Name(), in.Name, id),
+		Width:  72,
+		Height: 16,
+	}
+	if *modelPath != "" {
+		f, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		mdl, err := model.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if rng, ok := mdl.RangeOf(id); ok {
+			opts.HLines = map[string]float64{"calibrated min": rng.Min, "calibrated max": rng.Max}
+		}
+	}
+	fmt.Print(plot.Render(opts, plot.Series{Name: id.String() + " (%)", Values: rep.Series(id)}))
+	return nil
+}

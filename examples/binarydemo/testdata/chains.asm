@@ -1,0 +1,75 @@
+; chains.asm: a slot table of singly linked chains with rebuild churn.
+; r15 selects the build variant: non-zero takes the buggy path that
+; forgets to link the previous head (a typo-style leak).
+;
+; Try:
+;   go run ./cmd/heapmd-vm -src examples/binarydemo/testdata/chains.asm
+;   go run ./cmd/heapmd-vm -src examples/binarydemo/testdata/chains.asm -flag 1
+fn main
+  loadi r1, 96
+  alloc r10, r1
+  loadi r11, 0
+fill:
+  call buildchain
+  call storeslot
+  loadi r4, 1
+  add r11, r11, r4
+  loadi r5, 12
+  cmplt r6, r11, r5
+  jnz r6, fill
+  loadi r12, 0
+churn:
+  loadi r5, 12
+  rnd r11, r5
+  call loadslot
+  call freechain
+  call buildchain
+  call storeslot
+  loadi r4, 1
+  add r12, r12, r4
+  loadi r5, 800
+  cmplt r6, r12, r5
+  jnz r6, churn
+  halt
+
+fn storeslot
+  loadi r7, 8
+  mul r8, r11, r7
+  add r8, r10, r8
+  store r8, 0, r2
+  ret
+
+fn loadslot
+  loadi r7, 8
+  mul r8, r11, r7
+  add r8, r10, r8
+  load r2, r8, 0
+  ret
+
+fn buildchain
+  loadi r2, 0
+  loadi r9, 0
+bloop:
+  loadi r7, 16
+  alloc r8, r7
+  store r8, 0, r9
+  jnz r15, skiplink
+  store r8, 1, r2
+skiplink:
+  mov r2, r8
+  loadi r7, 1
+  add r9, r9, r7
+  loadi r7, 6
+  cmplt r6, r9, r7
+  jnz r6, bloop
+  ret
+
+fn freechain
+floop:
+  jz r2, fdone
+  load r8, r2, 1
+  free r2
+  mov r2, r8
+  jmp floop
+fdone:
+  ret

@@ -1,0 +1,128 @@
+// Quickstart: calibrate HeapMD on a small program of your own and
+// catch a planted heap bug.
+//
+// The "program" below maintains a registry of sensor records keyed by
+// a table, each record pointing at a ring of samples. Its healthy
+// heap settles into a stable degree-metric signature; the buggy
+// variant forgets to unlink records before freeing them (a dangling
+// reference) — exactly the class of error HeapMD's anomaly detector
+// was built to notice.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"heapmd"
+)
+
+// sensorApp simulates the program: a registry table of records, each
+// record [id, ringPtr], each ring a 4-sample circular chain. Every
+// tick retires one record and registers a new one. In the buggy
+// variant, retirement frees the record but not its ring: the ring
+// leaks, still wired into the heap-graph.
+func sensorApp(p *heapmd.Process, buggy bool, ticks int) {
+	defer p.Enter("main")()
+	const slots = 80
+
+	registry := p.AllocWords(slots)
+	newRing := func() uint64 {
+		defer p.Enter("newRing")()
+		var first, prev uint64
+		for i := 0; i < 4; i++ {
+			n := p.AllocWords(2)
+			if prev != 0 {
+				p.StoreField(prev, 1, n)
+			} else {
+				first = n
+			}
+			prev = n
+		}
+		p.StoreField(prev, 1, first) // close the ring
+		return first
+	}
+	register := func(slot int, id uint64) {
+		defer p.Enter("register")()
+		rec := p.AllocWords(2)
+		p.StoreField(rec, 0, id)
+		p.StoreField(rec, 1, newRing())
+		p.StoreField(registry, slot, rec)
+	}
+	retire := func(slot int) {
+		defer p.Enter("retire")()
+		rec := p.LoadField(registry, slot)
+		if rec == 0 {
+			return
+		}
+		ring := p.LoadField(rec, 1)
+		if !buggy {
+			// Free the ring first: 4 nodes.
+			n := ring
+			for i := 0; i < 4; i++ {
+				next := p.LoadField(n, 1)
+				p.Free(n)
+				n = next
+			}
+		}
+		// The bug: the ring is forgotten — its nodes stay allocated
+		// and cross-linked, accumulating run after run.
+		p.Free(rec)
+		p.StoreField(registry, slot, 0)
+	}
+
+	for i := 0; i < slots; i++ {
+		register(i, uint64(i))
+	}
+	rng := p.Rand()
+	for t := 0; t < ticks; t++ {
+		slot := rng.Intn(slots)
+		retire(slot)
+		register(slot, uint64(t))
+	}
+	for i := 0; i < slots; i++ {
+		retire(i)
+	}
+	p.Free(registry)
+}
+
+func main() {
+	// Phase 1: train on several clean runs (different seeds stand in
+	// for different inputs).
+	sess := heapmd.NewSession(heapmd.Options{Frequency: 8})
+	for seed := int64(1); seed <= 8; seed++ {
+		run := sess.NewRun("sensors", fmt.Sprintf("input-%d", seed), seed)
+		sensorApp(run.Process(), false, 600)
+		sess.AddTraining(run)
+	}
+	model, build, err := sess.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("trained: %d globally stable metrics\n", build.StableCount())
+	for _, id := range model.StableIDs() {
+		rng, _ := model.RangeOf(id)
+		fmt.Printf("  %-9s calibrated [%.2f%%, %.2f%%]\n", id, rng.Min, rng.Max)
+	}
+
+	// Phase 2: check a clean held-out run — expect silence.
+	clean := sess.NewRun("sensors", "heldout-clean", 99)
+	sensorApp(clean.Process(), false, 600)
+	fmt.Printf("\nclean held-out run: %d findings\n", len(heapmd.Check(model, clean.Report())))
+
+	// Phase 3: check the buggy build — expect range violations.
+	buggy := sess.NewRun("sensors", "heldout-buggy", 100)
+	sensorApp(buggy.Process(), true, 600)
+	findings := heapmd.Check(model, buggy.Report())
+	fmt.Printf("buggy run: %d findings\n", len(findings))
+	for _, f := range findings {
+		fmt.Printf("  metric %s went %s at tick %d: %.2f%% outside [%.2f%%, %.2f%%]\n",
+			f.Metric, f.Direction, f.Tick, f.Value, f.Range.Min, f.Range.Max)
+	}
+	if len(findings) == 0 {
+		fmt.Println("unexpected: the planted bug was not detected")
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module heapmd
+
+go 1.22

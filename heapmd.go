@@ -1,0 +1,247 @@
+// Package heapmd is a reproduction of "HeapMD: Identifying Heap-based
+// Bugs using Anomaly Detection" (Chilimbi & Ganapathy, ASPLOS 2006):
+// a dynamic-analysis tool that finds heap bugs by noticing when
+// normally-stable degree metrics of the heap-graph leave their
+// calibrated ranges.
+//
+// The package is a facade over the internal implementation. The
+// pipeline mirrors the paper's two-phase architecture:
+//
+//	                ┌────────────┐   reports   ┌────────────┐
+//	instrumented ──▶│ exec logger│────────────▶│ summarizer │──▶ Model
+//	  program       └────────────┘  (training) └────────────┘
+//	                ┌────────────┐    model    ┌────────────┐
+//	instrumented ──▶│ exec logger│────────────▶│  detector  │──▶ findings
+//	  program       └────────────┘  (checking) └────────────┘
+//
+// A minimal training-and-checking session:
+//
+//	sess := heapmd.NewSession(heapmd.Options{})
+//	for _, input := range trainingInputs {
+//		run := sess.NewRun("myprog", input)
+//		execute(run.Process()) // your program, against run.Process()
+//		sess.AddTraining(run)
+//	}
+//	model, summary, err := sess.Build()
+//	...
+//	run := sess.NewRun("myprog", testInput)
+//	execute(run.Process())
+//	findings := heapmd.Check(model, run.Report())
+//
+// Programs execute against a simulated heap (heapmd.Process), which
+// plays the role of the paper's Vulcan-instrumented x86 binary: every
+// allocation, free, pointer write and function entry is observed by
+// the execution logger.
+package heapmd
+
+import (
+	"io"
+
+	"heapmd/internal/detect"
+	"heapmd/internal/event"
+	"heapmd/internal/faults"
+	"heapmd/internal/logger"
+	"heapmd/internal/metrics"
+	"heapmd/internal/model"
+	"heapmd/internal/prog"
+	"heapmd/internal/stats"
+	"heapmd/internal/trace"
+)
+
+// Core pipeline types, re-exported from the implementation packages.
+type (
+	// Process is the simulated program context: a heap plus call
+	// tracking whose activity is fully observable.
+	Process = prog.Process
+
+	// Report is one execution's raw metric report.
+	Report = logger.Report
+
+	// Model is the calibrated heap-behaviour model: the ranges of
+	// the globally stable metrics.
+	Model = model.Model
+
+	// Thresholds are the summarizer's stability thresholds.
+	Thresholds = model.Thresholds
+
+	// BuildResult couples a Model with per-metric classification
+	// evidence.
+	BuildResult = model.BuildResult
+
+	// Finding is one anomaly-detector report.
+	Finding = detect.Finding
+
+	// Detector is the online execution checker.
+	Detector = detect.Detector
+
+	// FaultPlan configures fault injection for the bundled
+	// workloads and data structures.
+	FaultPlan = faults.Plan
+
+	// MetricID identifies one heap-graph metric.
+	MetricID = metrics.ID
+
+	// Range is a calibrated [min, max] interval.
+	Range = stats.Range
+
+	// Event is one instrumentation record.
+	Event = event.Event
+
+	// Symtab resolves function IDs in findings and traces.
+	Symtab = event.Symtab
+)
+
+// The paper's seven degree-based metrics.
+const (
+	Roots   = metrics.Roots
+	InDeg1  = metrics.InDeg1
+	InDeg2  = metrics.InDeg2
+	Leaves  = metrics.Leaves
+	OutDeg1 = metrics.OutDeg1
+	OutDeg2 = metrics.OutDeg2
+	InEqOut = metrics.InEqOut
+)
+
+// DefaultThresholds returns the paper's stability thresholds: average
+// change within ±1%, standard deviation of change below 5, 10%
+// startup/shutdown trim, and the 40%-of-inputs rule.
+func DefaultThresholds() Thresholds { return model.Defaults() }
+
+// Options configures a Session.
+type Options struct {
+	// Frequency samples metrics once every Frequency function
+	// entries; 0 means a simulation-appropriate default.
+	Frequency uint64
+	// Thresholds override the paper defaults when non-zero.
+	Thresholds Thresholds
+	// FieldGranularity builds the heap-graph with one vertex per
+	// word instead of per object (paper Figure 3 ablation).
+	FieldGranularity bool
+}
+
+// Session manages model construction across training runs.
+type Session struct {
+	opts    Options
+	reports []*Report
+}
+
+// NewSession creates an empty training session.
+func NewSession(opts Options) *Session { return &Session{opts: opts} }
+
+// Run couples a Process with the execution logger observing it.
+type Run struct {
+	process *Process
+	log     *logger.Logger
+}
+
+// NewRun creates an instrumented process for one execution of the
+// named program on the named input. seed drives the process RNG.
+func (s *Session) NewRun(program, input string, seed int64) *Run {
+	return s.newRun(program, input, seed, nil)
+}
+
+// NewFaultyRun is NewRun with a fault-injection plan, for testing the
+// detector against known bugs.
+func (s *Session) NewFaultyRun(program, input string, seed int64, plan *FaultPlan) *Run {
+	return s.newRun(program, input, seed, plan)
+}
+
+func (s *Session) newRun(program, input string, seed int64, plan *FaultPlan) *Run {
+	p := prog.NewProcess(prog.Options{Seed: seed, Plan: plan})
+	gran := logger.ObjectGranularity
+	if s.opts.FieldGranularity {
+		gran = logger.FieldGranularity
+	}
+	freq := s.opts.Frequency
+	if freq == 0 {
+		freq = 16
+	}
+	l := logger.New(logger.Options{Frequency: freq, Granularity: gran})
+	l.SetRun(program, input, 1)
+	p.Subscribe(l)
+	return &Run{process: p, log: l}
+}
+
+// Process returns the simulated program context to execute against.
+func (r *Run) Process() *Process { return r.process }
+
+// Observe attaches a sample observer (e.g. an online Detector) to the
+// run's logger. Must be called before executing the program.
+func (r *Run) Observe(d *Detector) { r.log.Observe(d) }
+
+// Report finalizes the run's metric report.
+func (r *Run) Report() *Report { return r.log.Report() }
+
+// AddTraining adds a completed run's report to the training set.
+func (s *Session) AddTraining(r *Run) { s.reports = append(s.reports, r.Report()) }
+
+// AddReport adds a previously produced report (e.g. replayed from a
+// trace) to the training set.
+func (s *Session) AddReport(rep *Report) { s.reports = append(s.reports, rep) }
+
+// Build runs the metric summarizer over the training reports and
+// returns the model with its classification evidence.
+func (s *Session) Build() (*Model, *BuildResult, error) {
+	th := s.opts.Thresholds
+	if th.MaxAvgChange == 0 && th.MaxStdDev == 0 {
+		th = model.Defaults()
+	}
+	res, err := model.Build(s.reports, th)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Model, res, nil
+}
+
+// Check performs offline checking of a report against a model and
+// returns the findings — the paper's post-mortem usage mode.
+func Check(m *Model, rep *Report) []*Finding {
+	return detect.CheckReport(m, rep, detect.Options{})
+}
+
+// NewDetector builds an online detector for the model; attach it to a
+// Run with Observe before executing, then call Finish after. The
+// detector skips the startup window the model's summarizer also
+// trimmed.
+func NewDetector(m *Model) *Detector {
+	return detect.New(m, metrics.DefaultSuite(), detect.Options{SkipStart: m.SkipStartSamples()})
+}
+
+// SaveModel serializes a model as JSON.
+func SaveModel(m *Model, w io.Writer) error { return m.Save(w) }
+
+// LoadModel deserializes a model written by SaveModel.
+func LoadModel(r io.Reader) (*Model, error) { return model.Load(r) }
+
+// RecordTrace attaches a trace writer to a run so its event stream
+// can be replayed later (post-mortem analysis). Call the returned
+// close function (with the run's symbol table) after execution.
+func RecordTrace(r *Run, w io.Writer) (func() error, error) {
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return nil, err
+	}
+	r.process.Subscribe(tw)
+	return func() error { return tw.Close(r.process.Sym()) }, nil
+}
+
+// ReplayTrace replays a recorded trace into a fresh logger (sampling
+// every frequency-th function entry, which must match the recording
+// session's frequency for comparable reports; 0 means the session
+// default) and returns the reconstructed report.
+func ReplayTrace(rd io.ReadSeeker, program, input string, frequency uint64) (*Report, *Symtab, error) {
+	if frequency == 0 {
+		frequency = 16
+	}
+	l := logger.New(logger.Options{Frequency: frequency})
+	l.SetRun(program, input, 1)
+	sym, _, err := trace.Replay(rd, l)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l.Report(), sym, nil
+}
+
+// NewFaultPlan returns an empty fault-injection plan; see package
+// internal/faults for the catalogue of fault names.
+func NewFaultPlan() *FaultPlan { return faults.NewPlan() }

@@ -1,0 +1,468 @@
+// Package detect implements HeapMD's anomaly detector / execution
+// checker (paper Section 2.2, lower half of Figure 2).
+//
+// The detector compares metric samples from a monitored execution
+// against the calibrated ranges in the model:
+//
+//   - A *range violation* — a globally stable metric leaving its
+//     [min, max] band — is reported as a bug. Crucially, instability
+//     alone is not: a metric that was stable in training may fluctuate
+//     during checking so long as it stays in band.
+//   - When a stable metric *approaches* its calibrated maximum with a
+//     positive slope (or its minimum with a negative slope), the
+//     detector arms call-stack logging into a circular buffer, and
+//     keeps logging briefly after a crossing, so a bug report carries
+//     call-stack context from before, during and after the violation.
+//   - At the end of a run the detector performs two run-level checks:
+//     *extreme-value stability* (a stable metric pinned at its
+//     calibrated extreme for the whole run — the paper's "poorly
+//     disguised" bugs, e.g. the oct-tree that became an oct-DAG) and
+//     *unexpected stability* (a training-time-unstable metric holding
+//     stable — the paper's "pathological" bugs).
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"heapmd/internal/callstack"
+	"heapmd/internal/event"
+	"heapmd/internal/logger"
+	"heapmd/internal/metrics"
+	"heapmd/internal/model"
+	"heapmd/internal/stats"
+)
+
+// Kind classifies a finding.
+type Kind int
+
+const (
+	// RangeViolation is the paper's *heap anomaly* bug signal: a
+	// stable metric outside its calibrated range.
+	RangeViolation Kind = iota
+	// ExtremeStability flags a stable metric pinned at its
+	// calibrated extreme for an entire run ("poorly disguised").
+	ExtremeStability
+	// UnexpectedStability flags a training-time-unstable metric that
+	// held a stable value during checking ("pathological").
+	UnexpectedStability
+)
+
+func (k Kind) String() string {
+	switch k {
+	case RangeViolation:
+		return "range-violation"
+	case ExtremeStability:
+		return "extreme-stability"
+	case UnexpectedStability:
+		return "unexpected-stability"
+	default:
+		return fmt.Sprintf("detect.Kind(%d)", int(k))
+	}
+}
+
+// Direction indicates which bound a violation crossed.
+type Direction int
+
+const (
+	AboveMax Direction = iota
+	BelowMin
+)
+
+func (d Direction) String() string {
+	if d == BelowMin {
+		return "below-min"
+	}
+	return "above-max"
+}
+
+// Finding is one detector report.
+type Finding struct {
+	Kind   Kind
+	Metric string
+	// MetricClass records the training-time class of the violated
+	// metric: "globally-stable" for the paper's detectors, or
+	// "locally-stable" for the future-work extension (envelope
+	// ranges across program phases; weaker evidence).
+	MetricClass string
+	Direction   Direction
+	// Tick is the metric computation point of the first violation.
+	Tick uint64
+	// Value is the offending metric value.
+	Value float64
+	// Range is the calibrated range that was violated.
+	Range stats.Range
+	// Recurrences counts further out-of-range samples for the same
+	// metric and direction after the first report.
+	Recurrences int
+	// Captures holds the circular-buffer call stacks around the
+	// violation (online mode only), oldest first.
+	Captures []callstack.Capture
+}
+
+// Describe renders the finding with symbolized stacks.
+func (f *Finding) Describe(sym *event.Symtab) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[%s] metric=%s %s at tick %d: value=%.2f calibrated=[%.2f, %.2f]",
+		f.Kind, f.Metric, f.Direction, f.Tick, f.Value, f.Range.Min, f.Range.Max)
+	if f.Recurrences > 0 {
+		fmt.Fprintf(&b, " (+%d recurrences)", f.Recurrences)
+	}
+	if sym != nil && len(f.Captures) > 0 {
+		b.WriteString("\n  call-stack context:")
+		for _, c := range f.Captures {
+			fmt.Fprintf(&b, "\n    tick %d value %.2f: %s", c.Tick, c.Value, strings.Join(sym.Names(c.Stack), " > "))
+		}
+	}
+	return b.String()
+}
+
+// Options configures a Detector.
+type Options struct {
+	// ApproachFrac is the fraction of the calibrated range width
+	// within which a metric counts as "approaching" an extreme,
+	// arming call-stack logging. Default 0.10.
+	ApproachFrac float64
+	// RingCapacity is the circular call-stack buffer size per
+	// metric. Default 16.
+	RingCapacity int
+	// PostSamples is how many samples after a crossing the detector
+	// keeps logging stacks before finalizing the report. Default 3.
+	PostSamples int
+	// SkipStart ignores the first SkipStart samples of the run —
+	// the startup window the model constructor also discards. The
+	// paper configures this count in the settings file (Section
+	// 2.1); metrics "change rapidly during program startup", and a
+	// model calibrated on trimmed series would otherwise flag every
+	// startup transient. Offline checking (CheckReport) derives it
+	// from the model's TrimFrac instead.
+	SkipStart int
+}
+
+func (o Options) withDefaults() Options {
+	if o.ApproachFrac == 0 {
+		o.ApproachFrac = 0.10
+	}
+	if o.RingCapacity == 0 {
+		o.RingCapacity = 16
+	}
+	if o.PostSamples == 0 {
+		o.PostSamples = 3
+	}
+	return o
+}
+
+// metricState is the detector's per-stable-metric state machine.
+type metricState struct {
+	id      metrics.ID
+	idx     int    // index in the suite
+	class   string // training-time classification of the metric
+	rng     stats.Range
+	prev    float64
+	hasPrev bool
+	ring    *callstack.Ring
+	// open is the finding currently collecting post-crossing
+	// context, if any.
+	open     *Finding
+	postLeft int
+	reported map[Direction]*Finding // first finding per direction
+	values   []float64              // full value series for run-level checks
+}
+
+// Detector is the online execution checker. It implements
+// logger.SampleObserver: attach it to a Logger with Observe and it
+// will see every metric computation point.
+type Detector struct {
+	opts   Options
+	mdl    *model.Model
+	suite  metrics.Suite
+	states []*metricState
+	// unstableIdx tracks metrics classified unstable during
+	// training, for the pathological check.
+	unstableIdx map[int]metrics.ID
+	findings    []*Finding
+	finished    bool
+	seen        int // samples observed, including skipped ones
+}
+
+// New builds a detector for the given model against executions logged
+// with the given metric suite. Stable metrics absent from the suite
+// are ignored.
+func New(mdl *model.Model, suite metrics.Suite, opts Options) *Detector {
+	d := &Detector{
+		opts:        opts.withDefaults(),
+		mdl:         mdl,
+		suite:       suite,
+		unstableIdx: make(map[int]metrics.ID),
+	}
+	for _, id := range mdl.StableIDs() {
+		idx := suite.Index(id)
+		if idx < 0 {
+			continue
+		}
+		rng, _ := mdl.RangeOf(id)
+		d.states = append(d.states, &metricState{
+			id:       id,
+			idx:      idx,
+			class:    model.GloballyStable.String(),
+			rng:      rng,
+			ring:     callstack.NewRing(d.opts.RingCapacity),
+			reported: make(map[Direction]*Finding),
+		})
+	}
+	// Future-work extension: locally stable metrics carry envelope
+	// ranges when the model was built with IncludeLocallyStable.
+	for _, id := range mdl.LocallyStableIDs() {
+		idx := suite.Index(id)
+		if idx < 0 {
+			continue
+		}
+		rng, _ := mdl.LocalRangeOf(id)
+		d.states = append(d.states, &metricState{
+			id:       id,
+			idx:      idx,
+			class:    model.LocallyStable.String(),
+			rng:      rng,
+			ring:     callstack.NewRing(d.opts.RingCapacity),
+			reported: make(map[Direction]*Finding),
+		})
+	}
+	for _, id := range suite.IDs() {
+		if cls, ok := mdl.ClassOf(id); ok && cls == model.Unstable {
+			d.unstableIdx[suite.Index(id)] = id
+		}
+	}
+	return d
+}
+
+// Sample implements logger.SampleObserver.
+func (d *Detector) Sample(snap metrics.Snapshot, stack *callstack.Tracker) {
+	d.seen++
+	if d.seen <= d.opts.SkipStart {
+		return
+	}
+	for _, st := range d.states {
+		v := snap.Values[st.idx]
+		st.values = append(st.values, v)
+		d.step(st, v, snap.Tick, stack)
+	}
+	// Record series for pathological checks on unstable metrics.
+	// (Stable metrics already record theirs above.)
+	_ = snap
+}
+
+func (d *Detector) step(st *metricState, v float64, tick uint64, stack *callstack.Tracker) {
+	slope := 0.0
+	if st.hasPrev {
+		slope = v - st.prev
+	}
+	st.prev, st.hasPrev = v, true
+
+	// Finish an open finding's post-crossing context window.
+	if st.open != nil {
+		if stack != nil {
+			st.ring.Add(callstack.Capture{Tick: tick, Value: v, Stack: stack.Snapshot()})
+		}
+		st.postLeft--
+		if st.postLeft <= 0 {
+			st.open.Captures = st.ring.Snapshot()
+			st.ring.Clear()
+			st.open = nil
+		}
+	}
+
+	width := st.rng.Width()
+	margin := width * d.opts.ApproachFrac
+	if width == 0 {
+		// Degenerate calibrated range: any excursion is a
+		// violation; use a small absolute arming margin.
+		margin = 0.5
+	}
+
+	switch {
+	case v > st.rng.Max:
+		d.violate(st, v, tick, AboveMax, stack)
+	case v < st.rng.Min:
+		d.violate(st, v, tick, BelowMin, stack)
+	case st.open == nil:
+		// In range: arm or disarm the circular logging.
+		nearMax := v >= st.rng.Max-margin && slope > 0
+		nearMin := v <= st.rng.Min+margin && slope < 0
+		if nearMax || nearMin {
+			if stack != nil {
+				st.ring.Add(callstack.Capture{Tick: tick, Value: v, Stack: stack.Snapshot()})
+			}
+		} else if v < st.rng.Max-margin && v > st.rng.Min+margin {
+			// Moved away from both extremes: drop stale context.
+			st.ring.Clear()
+		}
+	}
+}
+
+func (d *Detector) violate(st *metricState, v float64, tick uint64, dir Direction, stack *callstack.Tracker) {
+	if prev := st.reported[dir]; prev != nil {
+		// Already reported in this direction; the open-window logging
+		// in step (if still active) captures the context, so only
+		// count the recurrence here.
+		prev.Recurrences++
+		return
+	}
+	f := &Finding{
+		Kind:        RangeViolation,
+		Metric:      st.id.String(),
+		MetricClass: st.class,
+		Direction:   dir,
+		Tick:        tick,
+		Value:       v,
+		Range:       st.rng,
+	}
+	if stack != nil {
+		st.ring.Add(callstack.Capture{Tick: tick, Value: v, Stack: stack.Snapshot()})
+	}
+	st.reported[dir] = f
+	st.open = f
+	st.postLeft = d.opts.PostSamples
+	d.findings = append(d.findings, f)
+}
+
+// Finish runs the end-of-run checks and finalizes open findings. It
+// must be called once after the monitored execution completes.
+func (d *Detector) Finish() {
+	if d.finished {
+		return
+	}
+	d.finished = true
+	th := d.mdl.Thresholds
+	// Close findings still collecting context.
+	for _, st := range d.states {
+		if st.open != nil {
+			st.open.Captures = st.ring.Snapshot()
+			st.ring.Clear()
+			st.open = nil
+		}
+	}
+	// Poorly disguised: stable metric pinned at a calibrated extreme
+	// all run (after trimming).
+	for _, st := range d.states {
+		trimmed := stats.Trim(st.values, th.TrimFrac)
+		if len(trimmed) < th.MinSamples {
+			continue
+		}
+		obs, err := stats.RangeOf(trimmed)
+		if err != nil {
+			continue
+		}
+		width := st.rng.Width()
+		eps := width * d.opts.ApproachFrac
+		if width == 0 {
+			eps = 0.5
+		}
+		// Pinned near min or near max for the entire run, with the
+		// run's own spread tiny compared to the calibrated band.
+		pinnedMin := obs.Max <= st.rng.Min+eps && obs.Min >= st.rng.Min-eps
+		pinnedMax := obs.Min >= st.rng.Max-eps && obs.Max <= st.rng.Max+eps
+		if width > 0 && (pinnedMin || pinnedMax) {
+			dir := AboveMax
+			val := obs.Max
+			if pinnedMin {
+				dir = BelowMin
+				val = obs.Min
+			}
+			d.findings = append(d.findings, &Finding{
+				Kind:        ExtremeStability,
+				Metric:      st.id.String(),
+				MetricClass: st.class,
+				Direction:   dir,
+				Tick:        0,
+				Value:       val,
+				Range:       st.rng,
+			})
+		}
+	}
+}
+
+// CheckUnstable evaluates the pathological-bug check against a full
+// run report: metrics that were unstable in training but are stable in
+// this run are reported as UnexpectedStability findings. It is split
+// from Finish because it needs the run's full report.
+func (d *Detector) CheckUnstable(rep *logger.Report) {
+	th := d.mdl.Thresholds
+	for idx, id := range d.unstableIdx {
+		series := make([]float64, len(rep.Snapshots))
+		for i, s := range rep.Snapshots {
+			series[i] = s.Values[idx]
+		}
+		trimmed := stats.Trim(series, th.TrimFrac)
+		if len(trimmed) < th.MinSamples {
+			continue
+		}
+		sum, err := stats.Summarize(trimmed)
+		if err != nil {
+			continue
+		}
+		if abs(sum.AvgChange) <= th.MaxAvgChange && sum.StdDevChange <= th.MaxStdDev {
+			d.findings = append(d.findings, &Finding{
+				Kind:   UnexpectedStability,
+				Metric: id.String(),
+				Value:  sum.Observed.Max,
+				Range:  sum.Observed,
+			})
+		}
+	}
+}
+
+// Findings returns all findings reported so far, in detection order.
+func (d *Detector) Findings() []*Finding { return d.findings }
+
+// Violations returns only the range-violation findings — the paper's
+// bug reports.
+func (d *Detector) Violations() []*Finding {
+	var out []*Finding
+	for _, f := range d.findings {
+		if f.Kind == RangeViolation {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// CheckReport performs offline (post-mortem) checking of a recorded
+// metric report against a model: the paper's second usage mode, where
+// the execution trace is compared against the model after the fact.
+// Startup and shutdown samples are trimmed with the model's TrimFrac,
+// symmetric with how the model itself was calibrated. It returns the
+// findings; no call stacks are available in this mode.
+func CheckReport(mdl *model.Model, rep *logger.Report, opts Options) []*Finding {
+	suite, err := suiteOf(rep)
+	if err != nil {
+		return nil
+	}
+	d := New(mdl, suite, opts)
+	lo, hi := stats.TrimBounds(len(rep.Snapshots), mdl.Thresholds.TrimFrac)
+	for _, snap := range rep.Snapshots[lo:hi] {
+		d.Sample(snap, nil)
+	}
+	d.Finish()
+	d.CheckUnstable(rep)
+	return d.Findings()
+}
+
+// suiteOf reconstructs the metric suite from a report's metric names.
+func suiteOf(rep *logger.Report) (metrics.Suite, error) {
+	ids := make([]metrics.ID, 0, len(rep.Suite))
+	for _, name := range rep.Suite {
+		id, err := metrics.ParseID(name)
+		if err != nil {
+			return metrics.Suite{}, err
+		}
+		ids = append(ids, id)
+	}
+	return metrics.NewSuite(ids...), nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,384 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"heapmd/internal/callstack"
+	"heapmd/internal/event"
+	"heapmd/internal/logger"
+	"heapmd/internal/metrics"
+	"heapmd/internal/model"
+	"heapmd/internal/stats"
+)
+
+var (
+	testSuite = metrics.NewSuite(metrics.Roots, metrics.Leaves)
+)
+
+// testModel builds a model in which Roots is globally stable in
+// [10, 20] and Leaves was classified unstable.
+func testModel() *model.Model {
+	return &model.Model{
+		Program:    "prog",
+		Thresholds: model.Defaults(),
+		Stable: map[string]stats.Range{
+			metrics.Roots.String(): {Min: 10, Max: 20},
+		},
+		Classes: map[string]string{
+			metrics.Roots.String():  model.GloballyStable.String(),
+			metrics.Leaves.String(): model.Unstable.String(),
+		},
+		TrainingInputs: 5,
+	}
+}
+
+// feed sends a sequence of (roots, leaves) samples to the detector.
+func feed(d *Detector, rootVals []float64) {
+	for i, v := range rootVals {
+		snap := metrics.Snapshot{Tick: uint64(i + 1), Values: []float64{v, 50}}
+		d.Sample(snap, nil)
+	}
+}
+
+func TestNoViolationInBand(t *testing.T) {
+	d := New(testModel(), testSuite, Options{})
+	feed(d, []float64{12, 15, 18, 11, 19.9, 10.0, 20.0})
+	d.Finish()
+	if len(d.Violations()) != 0 {
+		t.Fatalf("in-band run produced violations: %+v", d.Violations()[0])
+	}
+}
+
+func TestInstabilityAloneIsNotABug(t *testing.T) {
+	// Wild swings inside the calibrated band must not be reported
+	// (paper Section 2.2: stability is not re-checked, only range).
+	d := New(testModel(), testSuite, Options{})
+	feed(d, []float64{10, 20, 10, 20, 10, 20, 10, 20})
+	d.Finish()
+	if len(d.Violations()) != 0 {
+		t.Fatal("in-band oscillation reported as a bug")
+	}
+}
+
+func TestViolationAboveMax(t *testing.T) {
+	d := New(testModel(), testSuite, Options{})
+	feed(d, []float64{12, 15, 21.5})
+	d.Finish()
+	v := d.Violations()
+	if len(v) != 1 {
+		t.Fatalf("violations = %d, want 1", len(v))
+	}
+	f := v[0]
+	if f.Metric != "Roots" || f.Direction != AboveMax || f.Tick != 3 || f.Value != 21.5 {
+		t.Errorf("finding = %+v", f)
+	}
+}
+
+func TestViolationBelowMin(t *testing.T) {
+	d := New(testModel(), testSuite, Options{})
+	feed(d, []float64{12, 9})
+	d.Finish()
+	v := d.Violations()
+	if len(v) != 1 || v[0].Direction != BelowMin {
+		t.Fatalf("violations = %+v", v)
+	}
+}
+
+func TestRecurrencesDeduplicated(t *testing.T) {
+	d := New(testModel(), testSuite, Options{})
+	feed(d, []float64{12, 25, 26, 27, 9})
+	d.Finish()
+	v := d.Violations()
+	if len(v) != 2 {
+		t.Fatalf("violations = %d, want 2 (one per direction)", len(v))
+	}
+	if v[0].Direction != AboveMax || v[0].Recurrences != 2 {
+		t.Errorf("above-max finding = %+v, want 2 recurrences", v[0])
+	}
+	if v[1].Direction != BelowMin || v[1].Recurrences != 0 {
+		t.Errorf("below-min finding = %+v", v[1])
+	}
+}
+
+// stackFor builds a tracker with the given frames.
+func stackFor(fns ...event.FnID) *callstack.Tracker {
+	tr := callstack.NewTracker()
+	for _, f := range fns {
+		tr.Enter(f)
+	}
+	return tr
+}
+
+func TestCallStackArmingAndCapture(t *testing.T) {
+	d := New(testModel(), testSuite, Options{ApproachFrac: 0.10, PostSamples: 2})
+	send := func(tick uint64, v float64, st *callstack.Tracker) {
+		d.Sample(metrics.Snapshot{Tick: tick, Values: []float64{v, 0}}, st)
+	}
+	send(1, 15, stackFor(1))   // mid-band: not armed
+	send(2, 19.5, stackFor(2)) // within 10% of max=20, rising: armed
+	send(3, 19.8, stackFor(3)) // still approaching
+	send(4, 21, stackFor(4))   // crossing: violation
+	send(5, 22, stackFor(5))   // post-crossing context
+	send(6, 22, stackFor(6))   // post-crossing context (closes window)
+	d.Finish()
+	v := d.Violations()
+	if len(v) != 1 {
+		t.Fatalf("violations = %d, want 1", len(v))
+	}
+	caps := v[0].Captures
+	if len(caps) < 4 {
+		t.Fatalf("captures = %d, want pre+crossing+post context", len(caps))
+	}
+	// The capture window must span before (tick 2, 3), during (4)
+	// and after (5, 6) the crossing.
+	ticks := map[uint64]bool{}
+	for _, c := range caps {
+		ticks[c.Tick] = true
+	}
+	for _, want := range []uint64{2, 3, 4, 5} {
+		if !ticks[want] {
+			t.Errorf("capture window missing tick %d (got %v)", want, ticks)
+		}
+	}
+	if ticks[1] {
+		t.Error("mid-band sample must not be captured")
+	}
+}
+
+func TestDisarmClearsStaleContext(t *testing.T) {
+	d := New(testModel(), testSuite, Options{ApproachFrac: 0.10, PostSamples: 1})
+	send := func(tick uint64, v float64, st *callstack.Tracker) {
+		d.Sample(metrics.Snapshot{Tick: tick, Values: []float64{v, 0}}, st)
+	}
+	send(1, 19.5, stackFor(1)) // armed near max
+	send(2, 15, stackFor(2))   // retreat to mid-band: disarm, clear
+	send(3, 21, stackFor(3))   // sudden violation
+	d.Finish()
+	v := d.Violations()
+	if len(v) != 1 {
+		t.Fatalf("violations = %d", len(v))
+	}
+	for _, c := range v[0].Captures {
+		if c.Tick == 1 {
+			t.Error("stale pre-disarm capture leaked into the report")
+		}
+	}
+}
+
+func TestExtremeStabilityPoorlyDisguised(t *testing.T) {
+	// Metric pinned at its calibrated minimum the whole run: the
+	// oct-DAG pattern (paper Section 4.3).
+	d := New(testModel(), testSuite, Options{})
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 10.2 // hugs min=10 within 10% of width (1.0)
+	}
+	feed(d, vals)
+	d.Finish()
+	var found *Finding
+	for _, f := range d.Findings() {
+		if f.Kind == ExtremeStability {
+			found = f
+		}
+	}
+	if found == nil {
+		t.Fatal("pinned-at-min run did not produce ExtremeStability")
+	}
+	if found.Direction != BelowMin {
+		t.Errorf("direction = %v, want below-min", found.Direction)
+	}
+}
+
+func TestNoExtremeStabilityMidBand(t *testing.T) {
+	d := New(testModel(), testSuite, Options{})
+	vals := make([]float64, 50)
+	for i := range vals {
+		vals[i] = 15
+	}
+	feed(d, vals)
+	d.Finish()
+	for _, f := range d.Findings() {
+		if f.Kind == ExtremeStability {
+			t.Fatal("mid-band stable run flagged as extreme stability")
+		}
+	}
+}
+
+// mkReport builds a report over testSuite with the given series.
+func mkReport(roots, leaves []float64) *logger.Report {
+	rep := &logger.Report{
+		Program: "prog",
+		Input:   "in",
+		Suite:   []string{metrics.Roots.String(), metrics.Leaves.String()},
+	}
+	for i := range roots {
+		rep.Snapshots = append(rep.Snapshots, metrics.Snapshot{
+			Tick:   uint64(i + 1),
+			Values: []float64{roots[i], leaves[i]},
+		})
+	}
+	return rep
+}
+
+func TestUnexpectedStabilityPathological(t *testing.T) {
+	// Leaves was unstable in training; a run where it sits rigidly
+	// flat is the paper's "pathological" signal.
+	roots := make([]float64, 60)
+	leaves := make([]float64, 60)
+	for i := range roots {
+		roots[i] = 15
+		leaves[i] = 42
+	}
+	rep := mkReport(roots, leaves)
+	findings := CheckReport(testModel(), rep, Options{})
+	var got *Finding
+	for _, f := range findings {
+		if f.Kind == UnexpectedStability {
+			got = f
+		}
+	}
+	if got == nil {
+		t.Fatal("flat unstable metric did not produce UnexpectedStability")
+	}
+	if got.Metric != "Leaves" {
+		t.Errorf("metric = %s, want Leaves", got.Metric)
+	}
+}
+
+func TestCheckReportOffline(t *testing.T) {
+	roots := []float64{12, 14, 25, 13}
+	leaves := []float64{1, 50, 3, 80} // unstable as trained
+	findings := CheckReport(testModel(), mkReport(roots, leaves), Options{})
+	var violations int
+	for _, f := range findings {
+		if f.Kind == RangeViolation {
+			violations++
+			if len(f.Captures) != 0 {
+				t.Error("offline checking cannot have stack captures")
+			}
+		}
+	}
+	if violations != 1 {
+		t.Errorf("violations = %d, want 1", violations)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	sym := event.NewSymtab()
+	a := sym.Intern("alloc_node")
+	f := &Finding{
+		Kind: RangeViolation, Metric: "Roots", Direction: AboveMax,
+		Tick: 7, Value: 25, Range: stats.Range{Min: 10, Max: 20},
+		Recurrences: 2,
+		Captures: []callstack.Capture{
+			{Tick: 6, Value: 19.5, Stack: []event.FnID{a}},
+		},
+	}
+	s := f.Describe(sym)
+	for _, want := range []string{"range-violation", "Roots", "above-max", "25.00", "alloc_node", "+2 recurrences"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestKindAndDirectionStrings(t *testing.T) {
+	if RangeViolation.String() != "range-violation" ||
+		ExtremeStability.String() != "extreme-stability" ||
+		UnexpectedStability.String() != "unexpected-stability" {
+		t.Error("Kind strings wrong")
+	}
+	if AboveMax.String() != "above-max" || BelowMin.String() != "below-min" {
+		t.Error("Direction strings wrong")
+	}
+	if !strings.Contains(Kind(42).String(), "42") {
+		t.Error("unknown Kind should embed number")
+	}
+}
+
+func TestStableMetricMissingFromSuite(t *testing.T) {
+	// Model knows Roots, but the run's suite lacks it: no states, no
+	// panic, no findings.
+	suite := metrics.NewSuite(metrics.Leaves)
+	d := New(testModel(), suite, Options{})
+	d.Sample(metrics.Snapshot{Tick: 1, Values: []float64{50}}, nil)
+	d.Finish()
+	if len(d.Findings()) != 0 {
+		t.Error("suite without stable metrics produced findings")
+	}
+}
+
+func TestDegenerateRangeViolation(t *testing.T) {
+	mdl := testModel()
+	mdl.Stable[metrics.Roots.String()] = stats.Range{Min: 15, Max: 15}
+	d := New(mdl, testSuite, Options{})
+	feed(d, []float64{15, 15, 16})
+	d.Finish()
+	if len(d.Violations()) != 1 {
+		t.Fatalf("degenerate-range violation count = %d, want 1", len(d.Violations()))
+	}
+}
+
+func BenchmarkDetectorSample(b *testing.B) {
+	d := New(testModel(), testSuite, Options{})
+	snap := metrics.Snapshot{Tick: 1, Values: []float64{15, 50}}
+	st := stackFor(1, 2, 3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap.Tick = uint64(i)
+		d.Sample(snap, st)
+	}
+}
+
+func TestLocallyStableEnvelopeDetection(t *testing.T) {
+	// Model with a locally-stable envelope for Leaves (the
+	// future-work extension): phases at 40 and 60, envelope
+	// [40, 60].
+	mdl := testModel()
+	mdl.LocallyStable = map[string]stats.Range{
+		metrics.Leaves.String(): {Min: 40, Max: 60},
+	}
+	mdl.Classes[metrics.Leaves.String()] = model.LocallyStable.String()
+	d := New(mdl, testSuite, Options{})
+
+	// Phase jumps inside the envelope are fine; exceeding every
+	// normal phase level is a bug.
+	for i, v := range []float64{40, 40, 60, 60, 40, 75} {
+		d.Sample(metrics.Snapshot{Tick: uint64(i + 1), Values: []float64{15, v}}, nil)
+	}
+	d.Finish()
+	var hit *Finding
+	for _, f := range d.Violations() {
+		if f.Metric == metrics.Leaves.String() {
+			hit = f
+		}
+	}
+	if hit == nil {
+		t.Fatal("envelope violation not detected")
+	}
+	if hit.MetricClass != model.LocallyStable.String() {
+		t.Errorf("MetricClass = %q", hit.MetricClass)
+	}
+	if hit.Value != 75 || hit.Direction != AboveMax {
+		t.Errorf("finding = %+v", hit)
+	}
+	// The globally stable metric (Roots) stayed in band: its
+	// findings must be absent.
+	for _, f := range d.Violations() {
+		if f.Metric == metrics.Roots.String() {
+			t.Errorf("unexpected Roots violation: %+v", f)
+		}
+	}
+}
+
+func TestGloballyStableFindingClass(t *testing.T) {
+	d := New(testModel(), testSuite, Options{})
+	feed(d, []float64{12, 25})
+	d.Finish()
+	v := d.Violations()
+	if len(v) != 1 || v[0].MetricClass != model.GloballyStable.String() {
+		t.Fatalf("violations = %+v", v)
+	}
+}

@@ -1,0 +1,239 @@
+package ds
+
+import "heapmd/internal/prog"
+
+// BTree is a B-tree of minimum degree btDegree (CLRS formulation):
+// every node holds at most 2*btDegree-1 keys and 2*btDegree children.
+// Node layout: [nkeys, leaf, key_0..key_{2t-2}, child_0..child_{2t-1}].
+//
+// The paper notes HeapMD "has detected several bugs due to invariant
+// violations in more complex data structures such as B-Trees"
+// (Section 4.5); the B-tree gives workloads that heterogeneity: its
+// nodes are wide (many pointer slots), so B-tree-heavy heaps have a
+// very different degree profile from list- or BST-heavy heaps.
+type BTree struct {
+	p    *prog.Process
+	hdr  uint64 // [root, size]
+	name string
+}
+
+const btDegree = 3 // minimum degree t: max 5 keys, 6 children
+
+const (
+	btMaxKeys     = 2*btDegree - 1
+	btMaxChildren = 2 * btDegree
+	btNKeys       = 0
+	btLeaf        = 1
+	btKey0        = 2
+	btChild0      = btKey0 + btMaxKeys
+	btNodeWords   = btChild0 + btMaxChildren
+)
+
+// NewBTree allocates an empty tree (a single leaf root).
+func NewBTree(p *prog.Process, name string) *BTree {
+	defer p.Enter(name + ".new")()
+	t := &BTree{p: p, hdr: p.AllocWords(2), name: name}
+	root := t.newNode(true)
+	p.StoreField(t.hdr, 0, root)
+	return t
+}
+
+func (t *BTree) newNode(leaf bool) uint64 {
+	n := t.p.AllocWords(btNodeWords)
+	if leaf {
+		t.p.StoreField(n, btLeaf, 1)
+	}
+	return n
+}
+
+// Root returns the root node address.
+func (t *BTree) Root() uint64 { return t.p.LoadField(t.hdr, 0) }
+
+// Size returns the number of stored keys.
+func (t *BTree) Size() int { return int(t.p.LoadField(t.hdr, 1)) }
+
+func (t *BTree) nkeys(n uint64) int   { return int(t.p.LoadField(n, btNKeys)) }
+func (t *BTree) isLeaf(n uint64) bool { return t.p.LoadField(n, btLeaf) != 0 }
+func (t *BTree) key(n uint64, i int) uint64 {
+	return t.p.LoadField(n, btKey0+i)
+}
+func (t *BTree) child(n uint64, i int) uint64 {
+	return t.p.LoadField(n, btChild0+i)
+}
+func (t *BTree) setNKeys(n uint64, k int)           { t.p.StoreField(n, btNKeys, uint64(k)) }
+func (t *BTree) setKey(n uint64, i int, k uint64)   { t.p.StoreField(n, btKey0+i, k) }
+func (t *BTree) setChild(n uint64, i int, c uint64) { t.p.StoreField(n, btChild0+i, c) }
+
+// Contains reports whether key is present.
+func (t *BTree) Contains(key uint64) bool {
+	defer t.p.Enter(t.name + ".contains")()
+	n := t.Root()
+	for n != 0 {
+		i := 0
+		for i < t.nkeys(n) && key > t.key(n, i) {
+			i++
+		}
+		if i < t.nkeys(n) && key == t.key(n, i) {
+			return true
+		}
+		if t.isLeaf(n) {
+			return false
+		}
+		n = t.child(n, i)
+	}
+	return false
+}
+
+// Insert adds key (duplicates are stored).
+func (t *BTree) Insert(key uint64) {
+	defer t.p.Enter(t.name + ".insert")()
+	t.insertNoEnter(key)
+}
+
+// InsertMany inserts all keys within one function entry (bulk index
+// construction at startup).
+func (t *BTree) InsertMany(keys []uint64) {
+	defer t.p.Enter(t.name + ".insertMany")()
+	for _, k := range keys {
+		t.insertNoEnter(k)
+	}
+}
+
+func (t *BTree) insertNoEnter(key uint64) {
+	root := t.Root()
+	if t.nkeys(root) == btMaxKeys {
+		// Root is full: grow the tree upward.
+		newRoot := t.newNode(false)
+		t.setChild(newRoot, 0, root)
+		t.p.StoreField(t.hdr, 0, newRoot)
+		t.splitChild(newRoot, 0)
+		root = newRoot
+	}
+	t.insertNonFull(root, key)
+	t.p.StoreField(t.hdr, 1, uint64(t.Size()+1))
+}
+
+// splitChild splits the full i-th child of parent.
+func (t *BTree) splitChild(parent uint64, i int) {
+	full := t.child(parent, i)
+	right := t.newNode(t.isLeaf(full))
+	// Move the top t-1 keys (and t children) of full into right.
+	for j := 0; j < btDegree-1; j++ {
+		t.setKey(right, j, t.key(full, j+btDegree))
+	}
+	if !t.isLeaf(full) {
+		for j := 0; j < btDegree; j++ {
+			t.setChild(right, j, t.child(full, j+btDegree))
+			t.setChild(full, j+btDegree, 0)
+		}
+	}
+	t.setNKeys(right, btDegree-1)
+	median := t.key(full, btDegree-1)
+	t.setNKeys(full, btDegree-1)
+	// Shift parent's children/keys to make room.
+	for j := t.nkeys(parent); j > i; j-- {
+		t.setChild(parent, j+1, t.child(parent, j))
+		t.setKey(parent, j, t.key(parent, j-1))
+	}
+	t.setChild(parent, i+1, right)
+	t.setKey(parent, i, median)
+	t.setNKeys(parent, t.nkeys(parent)+1)
+}
+
+func (t *BTree) insertNonFull(n uint64, key uint64) {
+	for {
+		i := t.nkeys(n) - 1
+		if t.isLeaf(n) {
+			for i >= 0 && key < t.key(n, i) {
+				t.setKey(n, i+1, t.key(n, i))
+				i--
+			}
+			t.setKey(n, i+1, key)
+			t.setNKeys(n, t.nkeys(n)+1)
+			return
+		}
+		for i >= 0 && key < t.key(n, i) {
+			i--
+		}
+		i++
+		if t.nkeys(t.child(n, i)) == btMaxKeys {
+			t.splitChild(n, i)
+			if key > t.key(n, i) {
+				i++
+			}
+		}
+		n = t.child(n, i)
+	}
+}
+
+// CheckInvariants verifies B-tree structural invariants: key ordering
+// within nodes, key-count bounds (root excepted on the lower bound),
+// and uniform leaf depth. It returns "" when consistent.
+func (t *BTree) CheckInvariants() string {
+	defer t.p.Enter(t.name + ".check")()
+	root := t.Root()
+	leafDepth := -1
+	var walk func(n uint64, depth int, min, max uint64) string
+	walk = func(n uint64, depth int, min, max uint64) string {
+		nk := t.nkeys(n)
+		if n != root && (nk < btDegree-1 || nk > btMaxKeys) {
+			return "key count out of bounds"
+		}
+		for i := 0; i < nk; i++ {
+			k := t.key(n, i)
+			if k < min || k > max {
+				return "key outside permitted range"
+			}
+			if i > 0 && k < t.key(n, i-1) {
+				return "keys out of order"
+			}
+		}
+		if t.isLeaf(n) {
+			if leafDepth == -1 {
+				leafDepth = depth
+			} else if leafDepth != depth {
+				return "leaves at different depths"
+			}
+			return ""
+		}
+		lo := min
+		for i := 0; i <= nk; i++ {
+			hi := max
+			if i < nk {
+				hi = t.key(n, i)
+			}
+			c := t.child(n, i)
+			if c == 0 {
+				return "missing child"
+			}
+			if msg := walk(c, depth+1, lo, hi); msg != "" {
+				return msg
+			}
+			if i < nk {
+				lo = t.key(n, i)
+			}
+		}
+		return ""
+	}
+	return walk(root, 0, 0, ^uint64(0))
+}
+
+// FreeAll frees every node and the header.
+func (t *BTree) FreeAll() {
+	defer t.p.Enter(t.name + ".freeAll")()
+	var walk func(n uint64)
+	walk = func(n uint64) {
+		if n == 0 {
+			return
+		}
+		if !t.isLeaf(n) {
+			for i := 0; i <= t.nkeys(n); i++ {
+				walk(t.child(n, i))
+			}
+		}
+		t.p.Free(n)
+	}
+	walk(t.Root())
+	t.p.Free(t.hdr)
+	t.hdr = 0
+}

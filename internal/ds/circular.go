@@ -1,0 +1,139 @@
+package ds
+
+import (
+	"heapmd/internal/faults"
+	"heapmd/internal/prog"
+)
+
+// CircularList is a singly linked circular list; header layout
+// [head, tail, len], node layout [value, next]. The tail's next
+// pointer always aims at the head, so every node of a healthy
+// circular list has indegree >= 1 from within the structure, and the
+// head has indegree 2 once the list has more than one node (tail.next
+// plus its predecessor's next... precisely: head receives tail.next
+// and, if len > 1, nothing else; interior nodes receive exactly one).
+//
+// The Figure 12 bug frees the head while the tail still points at it:
+// under faults.SharedFree, PopFront skips the tail fix-up, leaving a
+// dangling tail pointer. In the heap-graph image the freed vertex
+// disappears along with the tail's edge, shifting the indegree/
+// outdegree balance — the paper reports this via the indegree = 2
+// metric leaving its range.
+type CircularList struct {
+	p    *prog.Process
+	hdr  uint64
+	name string
+}
+
+// NewCircularList allocates the header.
+func NewCircularList(p *prog.Process, name string) *CircularList {
+	defer p.Enter(name + ".new")()
+	return &CircularList{p: p, hdr: p.AllocWords(3), name: name}
+}
+
+// Head returns the head node address, or 0.
+func (l *CircularList) Head() uint64 { return l.p.LoadField(l.hdr, 0) }
+
+// Tail returns the tail node address, or 0.
+func (l *CircularList) Tail() uint64 { return l.p.LoadField(l.hdr, 1) }
+
+// Len returns the stored length.
+func (l *CircularList) Len() int { return int(l.p.LoadField(l.hdr, 2)) }
+
+func (l *CircularList) setHead(n uint64) { l.p.StoreField(l.hdr, 0, n) }
+func (l *CircularList) setTail(n uint64) { l.p.StoreField(l.hdr, 1, n) }
+func (l *CircularList) setLen(n int)     { l.p.StoreField(l.hdr, 2, uint64(n)) }
+
+// Append adds a node at the tail, maintaining circularity.
+func (l *CircularList) Append(value uint64) uint64 {
+	defer l.p.Enter(l.name + ".append")()
+	n := l.p.AllocWords(2)
+	l.p.StoreField(n, nodeValue, value)
+	h, t := l.Head(), l.Tail()
+	if h == 0 {
+		l.p.StoreField(n, nodeNext, n) // self-circular singleton
+		l.setHead(n)
+		l.setTail(n)
+	} else {
+		l.p.StoreField(n, nodeNext, h)
+		l.p.StoreField(t, nodeNext, n)
+		l.setTail(n)
+	}
+	l.setLen(l.Len() + 1)
+	return n
+}
+
+// PopFront frees the head and advances it — the Figure 12 code shape.
+// Correct code repoints tail.next at the new head before freeing;
+// under faults.SharedFree that fix-up is skipped and the tail keeps a
+// dangling pointer to freed memory.
+func (l *CircularList) PopFront() (value uint64, ok bool) {
+	defer l.p.Enter(l.name + ".popFront")()
+	h := l.Head()
+	if h == 0 {
+		return 0, false
+	}
+	value = l.p.LoadField(h, nodeValue)
+	if l.Len() == 1 {
+		l.p.Free(h)
+		l.setHead(0)
+		l.setTail(0)
+		l.setLen(0)
+		return value, true
+	}
+	newHead := l.p.LoadField(h, nodeNext)
+	if !l.p.Hit(faults.SharedFree) {
+		l.p.StoreField(l.Tail(), nodeNext, newHead)
+	}
+	// "The tail of the list now has a dangling pointer" (Figure 12)
+	// when the fault fired: we free h regardless.
+	l.p.Free(h)
+	l.setHead(newHead)
+	l.setLen(l.Len() - 1)
+	return value, true
+}
+
+// Rotate advances the head by one position without freeing anything
+// (the common scheduler idiom circular lists exist for).
+func (l *CircularList) Rotate() {
+	defer l.p.Enter(l.name + ".rotate")()
+	h := l.Head()
+	if h == 0 || l.Len() == 1 {
+		return
+	}
+	l.setTail(h)
+	l.setHead(l.p.LoadField(h, nodeNext))
+}
+
+// CheckCircularInvariant verifies that following next pointers from
+// the head returns to the head in exactly Len steps and that
+// tail.next == head. It reports whether the invariant holds; a
+// dangling tail (SharedFree damage) breaks it.
+func (l *CircularList) CheckCircularInvariant() bool {
+	defer l.p.Enter(l.name + ".checkCircular")()
+	h := l.Head()
+	if h == 0 {
+		return l.Len() == 0
+	}
+	n := h
+	for i := 0; i < l.Len(); i++ {
+		n = l.p.LoadField(n, nodeNext)
+	}
+	return n == h && l.p.LoadField(l.Tail(), nodeNext) == h
+}
+
+// FreeAll frees all nodes and the header. The walk is bounded by the
+// stored length rather than by circularity, so a fault-damaged list
+// (dangling tail pointer after SharedFree) releases exactly its live
+// nodes instead of chasing stale pointers into freed memory.
+func (l *CircularList) FreeAll() {
+	defer l.p.Enter(l.name + ".freeAll")()
+	n := l.Head()
+	for i := l.Len(); i > 0 && n != 0; i-- {
+		next := l.p.LoadField(n, nodeNext)
+		l.p.Free(n)
+		n = next
+	}
+	l.p.Free(l.hdr)
+	l.hdr = 0
+}

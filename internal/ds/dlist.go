@@ -1,0 +1,195 @@
+package ds
+
+import (
+	"heapmd/internal/faults"
+	"heapmd/internal/prog"
+)
+
+// DList is a doubly linked list; header layout [head, tail, len],
+// node layout [value, prev, next].
+//
+// Interior nodes of a healthy doubly linked list have indegree 2 (the
+// next pointer of their predecessor and the prev pointer of their
+// successor). The Figure 1 bug — insertions that forget to update
+// prev pointers — turns those nodes into indegree-1 vertices, which is
+// exactly the metric shift HeapMD detected in the paper; the
+// faults.DListNoPrev plan reproduces it at the insertion sites.
+type DList struct {
+	p    *prog.Process
+	hdr  uint64
+	name string
+}
+
+// NewDList allocates the header.
+func NewDList(p *prog.Process, name string) *DList {
+	defer p.Enter(name + ".new")()
+	return &DList{p: p, hdr: p.AllocWords(3), name: name}
+}
+
+// Head returns the first node address, or 0.
+func (l *DList) Head() uint64 { return l.p.LoadField(l.hdr, 0) }
+
+// Tail returns the last node address, or 0.
+func (l *DList) Tail() uint64 { return l.p.LoadField(l.hdr, 1) }
+
+// Len returns the stored length.
+func (l *DList) Len() int { return int(l.p.LoadField(l.hdr, 2)) }
+
+func (l *DList) setHead(n uint64) { l.p.StoreField(l.hdr, 0, n) }
+func (l *DList) setTail(n uint64) { l.p.StoreField(l.hdr, 1, n) }
+func (l *DList) setLen(n int)     { l.p.StoreField(l.hdr, 2, uint64(n)) }
+
+// PushFront inserts value at the head. Under faults.DListNoPrev the
+// new node's prev linkage is silently skipped, replicating Figure 1.
+func (l *DList) PushFront(value uint64) uint64 {
+	defer l.p.Enter(l.name + ".pushFront")()
+	n := l.p.AllocWords(3)
+	l.p.StoreField(n, dnodeValue, value)
+	h := l.Head()
+	l.p.StoreField(n, dnodeNext, h)
+	if h != 0 {
+		if !l.p.Hit(faults.DListNoPrev) {
+			l.p.StoreField(h, dnodePrev, n)
+		}
+	} else {
+		l.setTail(n)
+	}
+	l.setHead(n)
+	l.setLen(l.Len() + 1)
+	return n
+}
+
+// PushBack appends value at the tail, with the same fault site.
+func (l *DList) PushBack(value uint64) uint64 {
+	defer l.p.Enter(l.name + ".pushBack")()
+	n := l.p.AllocWords(3)
+	l.p.StoreField(n, dnodeValue, value)
+	t := l.Tail()
+	if t != 0 {
+		l.p.StoreField(t, dnodeNext, n)
+		if !l.p.Hit(faults.DListNoPrev) {
+			l.p.StoreField(n, dnodePrev, t)
+		}
+	} else {
+		l.setHead(n)
+	}
+	l.setTail(n)
+	l.setLen(l.Len() + 1)
+	return n
+}
+
+// PushBackMany appends all values within one function entry (bulk
+// construction at startup). The fault site matches PushBack's.
+func (l *DList) PushBackMany(values []uint64) {
+	defer l.p.Enter(l.name + ".pushBackMany")()
+	for _, v := range values {
+		n := l.p.AllocWords(3)
+		l.p.StoreField(n, dnodeValue, v)
+		t := l.Tail()
+		if t != 0 {
+			l.p.StoreField(t, dnodeNext, n)
+			if !l.p.Hit(faults.DListNoPrev) {
+				l.p.StoreField(n, dnodePrev, t)
+			}
+		} else {
+			l.setHead(n)
+		}
+		l.setTail(n)
+		l.setLen(l.Len() + 1)
+	}
+}
+
+// InsertAfter inserts value after the given node — the shape of the
+// Figure 1 code fragment (insert after pAssetList). The same fault
+// site applies.
+func (l *DList) InsertAfter(node uint64, value uint64) uint64 {
+	defer l.p.Enter(l.name + ".insertAfter")()
+	n := l.p.AllocWords(3)
+	l.p.StoreField(n, dnodeValue, value)
+	next := l.p.LoadField(node, dnodeNext)
+	l.p.StoreField(n, dnodeNext, next)
+	l.p.StoreField(node, dnodeNext, n)
+	if l.p.Hit(faults.DListNoPrev) {
+		// Figure 1: "prev pointers are not correctly updated here."
+	} else {
+		l.p.StoreField(n, dnodePrev, node)
+		if next != 0 {
+			l.p.StoreField(next, dnodePrev, n)
+		}
+	}
+	if next == 0 {
+		l.setTail(n)
+	}
+	l.setLen(l.Len() + 1)
+	return n
+}
+
+// Remove unlinks and frees the given node, using whatever linkage is
+// actually present (tolerating fault-damaged prev pointers by
+// searching forward when needed).
+func (l *DList) Remove(node uint64) {
+	defer l.p.Enter(l.name + ".remove")()
+	prev := l.p.LoadField(node, dnodePrev)
+	next := l.p.LoadField(node, dnodeNext)
+	if prev == 0 && l.Head() != node {
+		// Damaged prev linkage: find the true predecessor.
+		for n := l.Head(); n != 0; n = l.p.LoadField(n, dnodeNext) {
+			if l.p.LoadField(n, dnodeNext) == node {
+				prev = n
+				break
+			}
+		}
+	}
+	if prev != 0 {
+		l.p.StoreField(prev, dnodeNext, next)
+	} else {
+		l.setHead(next)
+	}
+	if next != 0 {
+		l.p.StoreField(next, dnodePrev, prev)
+	} else {
+		l.setTail(prev)
+	}
+	l.p.Free(node)
+	l.setLen(l.Len() - 1)
+}
+
+// Each walks forward through the list.
+func (l *DList) Each(fn func(node, value uint64) bool) {
+	defer l.p.Enter(l.name + ".each")()
+	for n := l.Head(); n != 0; n = l.p.LoadField(n, dnodeNext) {
+		if !fn(n, l.p.LoadField(n, dnodeValue)) {
+			return
+		}
+	}
+}
+
+// CheckPrevInvariant walks the list and counts nodes whose prev
+// pointer disagrees with the forward linkage — the data-structure
+// invariant the Figure 1 bug violates. Verification helper for tests
+// and fix-validation (paper Section 4.3: "we verified that the fix did
+// indeed cause the affected metric to remain stable").
+func (l *DList) CheckPrevInvariant() (violations int) {
+	defer l.p.Enter(l.name + ".checkPrev")()
+	var prev uint64
+	for n := l.Head(); n != 0; n = l.p.LoadField(n, dnodeNext) {
+		if l.p.LoadField(n, dnodePrev) != prev {
+			violations++
+		}
+		prev = n
+	}
+	return violations
+}
+
+// FreeAll frees all nodes and the header.
+func (l *DList) FreeAll() {
+	defer l.p.Enter(l.name + ".freeAll")()
+	n := l.Head()
+	for n != 0 {
+		next := l.p.LoadField(n, dnodeNext)
+		l.p.Free(n)
+		n = next
+	}
+	l.p.Free(l.hdr)
+	l.hdr = 0
+}

@@ -1,0 +1,118 @@
+// Package ds implements the heap data structures the synthetic
+// workloads allocate: singly, doubly and circular linked lists, binary
+// search trees, oct-trees, B-trees, chained hash tables and
+// adjacency-list graphs.
+//
+// Every structure lives entirely on the simulated heap: nodes are
+// prog.Process allocations and every link is a pointer word written
+// with Store, so the execution logger observes the same allocation and
+// pointer-write traffic the paper's instrumenter saw. The paper's
+// commercial benchmarks were "heterogeneous in the types of data
+// structures allocated" (Section 4.5); workloads mix these structures
+// to reproduce that.
+//
+// Each structure exposes the operation sites where the paper's bug
+// taxonomy applies and consults the process fault plan there — e.g.
+// DList.PushFront omits prev pointers under faults.DListNoPrev
+// (Figure 1), and CircularList.PopFront leaves the tail dangling under
+// faults.SharedFree (Figure 12).
+package ds
+
+import (
+	"heapmd/internal/prog"
+)
+
+// Field offsets shared by the list node layouts. A list node is
+// [value, next] and a dlist node is [value, prev, next].
+const (
+	nodeValue = 0
+	nodeNext  = 1
+
+	dnodeValue = 0
+	dnodePrev  = 1
+	dnodeNext  = 2
+)
+
+// List is a singly linked list with head and length stored in a heap
+// header object, layout [head, len].
+type List struct {
+	p    *prog.Process
+	hdr  uint64
+	name string
+}
+
+// NewList allocates a list header on the heap. name tags the
+// allocation functions (e.g. "assetList") so call stacks in bug
+// reports identify the owner.
+func NewList(p *prog.Process, name string) *List {
+	defer p.Enter(name + ".new")()
+	return &List{p: p, hdr: p.AllocWords(2), name: name}
+}
+
+// Head returns the address of the first node, or 0.
+func (l *List) Head() uint64 { return l.p.LoadField(l.hdr, 0) }
+
+// Len returns the stored length.
+func (l *List) Len() int { return int(l.p.LoadField(l.hdr, 1)) }
+
+func (l *List) setHead(n uint64) { l.p.StoreField(l.hdr, 0, n) }
+func (l *List) setLen(n int)     { l.p.StoreField(l.hdr, 1, uint64(n)) }
+
+// PushFront inserts a new node carrying value at the head.
+func (l *List) PushFront(value uint64) uint64 {
+	defer l.p.Enter(l.name + ".pushFront")()
+	n := l.p.AllocWords(2)
+	l.p.StoreField(n, nodeValue, value)
+	l.p.StoreField(n, nodeNext, l.Head())
+	l.setHead(n)
+	l.setLen(l.Len() + 1)
+	return n
+}
+
+// PopFront removes the head node and returns its value; ok is false
+// on an empty list.
+func (l *List) PopFront() (value uint64, ok bool) {
+	defer l.p.Enter(l.name + ".popFront")()
+	h := l.Head()
+	if h == 0 {
+		return 0, false
+	}
+	value = l.p.LoadField(h, nodeValue)
+	l.setHead(l.p.LoadField(h, nodeNext))
+	l.setLen(l.Len() - 1)
+	l.p.Free(h)
+	return value, true
+}
+
+// Each walks the list, calling fn with each node address and value;
+// it stops early if fn returns false.
+func (l *List) Each(fn func(node, value uint64) bool) {
+	defer l.p.Enter(l.name + ".each")()
+	for n := l.Head(); n != 0; n = l.p.LoadField(n, nodeNext) {
+		if !fn(n, l.p.LoadField(n, nodeValue)) {
+			return
+		}
+	}
+}
+
+// Drop discards the list's contents WITHOUT freeing the nodes and
+// resets the header: the leak primitive used by typo-style faults.
+func (l *List) Drop() {
+	defer l.p.Enter(l.name + ".drop")()
+	l.setHead(0)
+	l.setLen(0)
+}
+
+// FreeAll frees every node and then the header. The list is unusable
+// afterwards.
+func (l *List) FreeAll() {
+	defer l.p.Enter(l.name + ".freeAll")()
+	n := l.Head()
+	for n != 0 {
+		next := l.p.LoadField(n, nodeNext)
+		l.p.Free(n)
+		n = next
+	}
+	l.p.Free(l.hdr)
+	l.hdr = 0
+}

@@ -1,0 +1,577 @@
+package ds
+
+import (
+	"testing"
+
+	"heapmd/internal/faults"
+	"heapmd/internal/heapgraph"
+	"heapmd/internal/logger"
+	"heapmd/internal/prog"
+)
+
+// newProc returns a process with an attached logger so tests can
+// inspect the heap-graph the structures induce.
+func newProc(t *testing.T, plan *faults.Plan) (*prog.Process, *logger.Logger) {
+	t.Helper()
+	p := prog.NewProcess(prog.Options{Seed: 7, Plan: plan})
+	l := logger.New(logger.Options{Frequency: 1})
+	p.Subscribe(l)
+	return p, l
+}
+
+func TestListPushPop(t *testing.T) {
+	p, _ := newProc(t, nil)
+	l := NewList(p, "t")
+	for i := uint64(1); i <= 5; i++ {
+		l.PushFront(i)
+	}
+	if l.Len() != 5 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	// LIFO order.
+	for want := uint64(5); want >= 1; want-- {
+		v, ok := l.PopFront()
+		if !ok || v != want {
+			t.Fatalf("PopFront = (%d,%v), want (%d,true)", v, ok, want)
+		}
+	}
+	if _, ok := l.PopFront(); ok {
+		t.Error("PopFront on empty list succeeded")
+	}
+}
+
+func TestListEachAndDrop(t *testing.T) {
+	p, _ := newProc(t, nil)
+	l := NewList(p, "t")
+	for i := uint64(0); i < 4; i++ {
+		l.PushFront(i)
+	}
+	var seen []uint64
+	l.Each(func(_, v uint64) bool {
+		seen = append(seen, v)
+		return true
+	})
+	if len(seen) != 4 {
+		t.Fatalf("Each saw %d", len(seen))
+	}
+	live := p.Heap().Live()
+	l.Drop() // leak the nodes
+	if l.Len() != 0 || l.Head() != 0 {
+		t.Error("Drop did not clear header")
+	}
+	if p.Heap().Live() != live {
+		t.Error("Drop freed nodes (it must leak them)")
+	}
+}
+
+func TestListFreeAllReleasesEverything(t *testing.T) {
+	p, _ := newProc(t, nil)
+	before := p.Heap().Live()
+	l := NewList(p, "t")
+	for i := uint64(0); i < 10; i++ {
+		l.PushFront(i)
+	}
+	l.FreeAll()
+	if p.Heap().Live() != before {
+		t.Errorf("leaked %d objects", p.Heap().Live()-before)
+	}
+}
+
+func TestListGraphShape(t *testing.T) {
+	p, lg := newProc(t, nil)
+	l := NewList(p, "t")
+	for i := uint64(0); i < 10; i++ {
+		l.PushFront(i)
+	}
+	g := lg.Graph()
+	// 10 nodes + header: each node pointed at by predecessor or
+	// header; all vertices have indegree 1 except the header.
+	if g.NumVertices() != 11 {
+		t.Fatalf("V = %d, want 11", g.NumVertices())
+	}
+	if g.CountInDegree(1) != 10 {
+		t.Errorf("indeg-1 count = %d, want 10", g.CountInDegree(1))
+	}
+	if g.CountInDegree(0) != 1 {
+		t.Errorf("roots = %d, want 1 (header)", g.CountInDegree(0))
+	}
+}
+
+func TestDListInvariantHealthy(t *testing.T) {
+	p, _ := newProc(t, nil)
+	l := NewDList(p, "t")
+	n1 := l.PushBack(1)
+	l.PushBack(2)
+	l.PushFront(0)
+	l.InsertAfter(n1, 99)
+	if l.Len() != 4 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	if v := l.CheckPrevInvariant(); v != 0 {
+		t.Errorf("healthy dlist has %d prev violations", v)
+	}
+	var vals []uint64
+	l.Each(func(_, v uint64) bool { vals = append(vals, v); return true })
+	want := []uint64{0, 1, 99, 2}
+	for i := range want {
+		if vals[i] != want[i] {
+			t.Fatalf("order = %v, want %v", vals, want)
+		}
+	}
+}
+
+func TestDListNoPrevFault(t *testing.T) {
+	plan := faults.NewPlan().EnableAlways(faults.DListNoPrev)
+	p, lg := newProc(t, plan)
+	l := NewDList(p, "t")
+	head := l.PushBack(0)
+	for i := uint64(1); i <= 20; i++ {
+		l.InsertAfter(head, i)
+	}
+	if v := l.CheckPrevInvariant(); v == 0 {
+		t.Fatal("fault did not break prev invariant")
+	}
+	if plan.Triggers(faults.DListNoPrev) == 0 {
+		t.Fatal("fault never fired")
+	}
+	// Metric effect (Figure 1): interior nodes that should have
+	// indegree 2 have indegree 1 — more indeg-1 vertices than the
+	// healthy equivalent.
+	g := lg.Graph()
+	faultyIndeg1 := g.CountInDegree(1)
+
+	p2, lg2 := newProc(t, nil)
+	l2 := NewDList(p2, "t")
+	head2 := l2.PushBack(0)
+	for i := uint64(1); i <= 20; i++ {
+		l2.InsertAfter(head2, i)
+	}
+	healthyIndeg1 := lg2.Graph().CountInDegree(1)
+	if faultyIndeg1 <= healthyIndeg1 {
+		t.Errorf("indeg-1 under fault (%d) should exceed healthy (%d)", faultyIndeg1, healthyIndeg1)
+	}
+}
+
+func TestDListRemoveSurvivesDamagedPrev(t *testing.T) {
+	plan := faults.NewPlan().EnableAlways(faults.DListNoPrev)
+	p, _ := newProc(t, plan)
+	l := NewDList(p, "t")
+	l.PushBack(1)
+	n2 := l.PushBack(2)
+	l.PushBack(3)
+	l.Remove(n2) // must find the true predecessor by walking
+	var vals []uint64
+	l.Each(func(_, v uint64) bool { vals = append(vals, v); return true })
+	if len(vals) != 2 || vals[0] != 1 || vals[1] != 3 {
+		t.Errorf("after remove: %v", vals)
+	}
+}
+
+func TestDListFreeAll(t *testing.T) {
+	p, _ := newProc(t, nil)
+	before := p.Heap().Live()
+	l := NewDList(p, "t")
+	for i := uint64(0); i < 8; i++ {
+		l.PushBack(i)
+	}
+	l.FreeAll()
+	if p.Heap().Live() != before {
+		t.Error("dlist FreeAll leaked")
+	}
+}
+
+func TestCircularListInvariant(t *testing.T) {
+	p, _ := newProc(t, nil)
+	l := NewCircularList(p, "t")
+	if !l.CheckCircularInvariant() {
+		t.Error("empty list should satisfy invariant")
+	}
+	for i := uint64(1); i <= 6; i++ {
+		l.Append(i)
+		if !l.CheckCircularInvariant() {
+			t.Fatalf("invariant broken after append %d", i)
+		}
+	}
+	l.Rotate()
+	if !l.CheckCircularInvariant() {
+		t.Error("invariant broken after rotate")
+	}
+	v, ok := l.PopFront()
+	if !ok || v != 2 { // rotated once, so head was 2
+		t.Errorf("PopFront = (%d,%v), want (2,true)", v, ok)
+	}
+	if !l.CheckCircularInvariant() {
+		t.Error("invariant broken after healthy PopFront")
+	}
+}
+
+func TestCircularSharedFreeFault(t *testing.T) {
+	plan := faults.NewPlan().EnableAlways(faults.SharedFree)
+	p, _ := newProc(t, plan)
+	l := NewCircularList(p, "t")
+	for i := uint64(1); i <= 5; i++ {
+		l.Append(i)
+	}
+	if _, ok := l.PopFront(); !ok {
+		t.Fatal("PopFront failed")
+	}
+	if l.CheckCircularInvariant() {
+		t.Error("faulty PopFront left the invariant intact")
+	}
+	if plan.Triggers(faults.SharedFree) != 1 {
+		t.Errorf("fault triggers = %d", plan.Triggers(faults.SharedFree))
+	}
+	// Cleanup must not double-free despite the dangling tail.
+	if err := prog.Run(func() { l.FreeAll() }); err != nil {
+		t.Errorf("FreeAll on damaged list: %v", err)
+	}
+}
+
+func TestCircularPopToEmpty(t *testing.T) {
+	p, _ := newProc(t, nil)
+	before := p.Heap().Live()
+	l := NewCircularList(p, "t")
+	l.Append(1)
+	l.Append(2)
+	if v, _ := l.PopFront(); v != 1 {
+		t.Error("wrong pop order")
+	}
+	if v, _ := l.PopFront(); v != 2 {
+		t.Error("wrong pop order")
+	}
+	if _, ok := l.PopFront(); ok {
+		t.Error("pop on empty circular list succeeded")
+	}
+	l.FreeAll()
+	if p.Heap().Live() != before {
+		t.Error("leaked")
+	}
+}
+
+func TestBSTInsertFindDelete(t *testing.T) {
+	p, _ := newProc(t, nil)
+	tr := NewBST(p, "t")
+	keys := []uint64{50, 30, 70, 20, 40, 60, 80, 35, 45}
+	for _, k := range keys {
+		tr.Insert(k)
+	}
+	if tr.Size() != len(keys) {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	for _, k := range keys {
+		if tr.Find(k) == 0 {
+			t.Errorf("Find(%d) missed", k)
+		}
+	}
+	if tr.Find(99) != 0 {
+		t.Error("Find(99) should miss")
+	}
+	if v := tr.CheckParentInvariant(); v != 0 {
+		t.Fatalf("healthy BST has %d parent violations", v)
+	}
+	// Delete leaf, one-child and two-children cases.
+	for _, k := range []uint64{20, 30, 50} {
+		if !tr.Delete(k) {
+			t.Fatalf("Delete(%d) failed", k)
+		}
+		if tr.Find(k) != 0 {
+			t.Fatalf("key %d still present", k)
+		}
+		if v := tr.CheckParentInvariant(); v != 0 {
+			t.Fatalf("parent invariant broken after Delete(%d)", k)
+		}
+	}
+	if tr.Delete(99) {
+		t.Error("Delete of absent key succeeded")
+	}
+	if tr.Size() != len(keys)-3 {
+		t.Errorf("Size = %d", tr.Size())
+	}
+}
+
+func TestBSTOrderPreserved(t *testing.T) {
+	p, _ := newProc(t, nil)
+	tr := NewBST(p, "t")
+	rng := p.Rand()
+	inserted := map[uint64]bool{}
+	for i := 0; i < 200; i++ {
+		k := uint64(rng.Intn(1000))
+		tr.Insert(k)
+		inserted[k] = true
+	}
+	for k := range inserted {
+		if tr.Find(k) == 0 {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+}
+
+func TestBSTNoParentFaultMetricEffect(t *testing.T) {
+	build := func(plan *faults.Plan) *heapgraph.Graph {
+		p, lg := newProc(t, plan)
+		tr := NewBST(p, "t")
+		rng := p.Rand()
+		for i := 0; i < 100; i++ {
+			tr.Insert(uint64(rng.Intn(100000)))
+		}
+		return lg.Graph()
+	}
+	healthy := build(nil)
+	faulty := build(faults.NewPlan().EnableAlways(faults.TreeNoParent))
+	h1 := float64(healthy.CountInDegree(1)) / float64(healthy.NumVertices())
+	f1 := float64(faulty.CountInDegree(1)) / float64(faulty.NumVertices())
+	// Figure 10: missing parent back-pointers inflate indeg-1.
+	if f1 <= h1 {
+		t.Errorf("faulty indeg-1 fraction %.3f should exceed healthy %.3f", f1, h1)
+	}
+}
+
+func TestBSTFreeAll(t *testing.T) {
+	p, _ := newProc(t, nil)
+	before := p.Heap().Live()
+	tr := NewBST(p, "t")
+	for i := uint64(0); i < 50; i++ {
+		tr.Insert(i * 37 % 100)
+	}
+	tr.FreeAll()
+	if p.Heap().Live() != before {
+		t.Error("BST FreeAll leaked")
+	}
+}
+
+func TestFullBinaryTree(t *testing.T) {
+	p, _ := newProc(t, nil)
+	before := p.Heap().Live()
+	root := FullBinaryTree(p, "t", 4)
+	// 2^5 - 1 = 31 nodes.
+	if got := p.Heap().Live() - before; got != 31 {
+		t.Fatalf("allocated %d nodes, want 31", got)
+	}
+	FreeBinaryTree(p, "t", root)
+	if p.Heap().Live() != before {
+		t.Error("leaked")
+	}
+}
+
+func TestSingleChildFault(t *testing.T) {
+	plan := faults.NewPlan().EnableAlways(faults.SingleChild)
+	p, _ := newProc(t, plan)
+	before := p.Heap().Live()
+	root := FullBinaryTree(p, "t", 4)
+	// Degenerate to a path: depth+1 = 5 nodes.
+	if got := p.Heap().Live() - before; got != 5 {
+		t.Fatalf("allocated %d nodes under fault, want 5", got)
+	}
+	FreeBinaryTree(p, "t", root)
+}
+
+func TestOctTreeHealthy(t *testing.T) {
+	p, lg := newProc(t, nil)
+	tr := BuildOctTree(p, "t", 2)
+	// 1 + 8 + 64 = 73 nodes.
+	if got := tr.CountNodes(); got != 73 {
+		t.Fatalf("CountNodes = %d, want 73", got)
+	}
+	// Every non-root vertex has indegree exactly 1.
+	g := lg.Graph()
+	if g.CountInDegree(1) != 72 {
+		t.Errorf("indeg-1 = %d, want 72", g.CountInDegree(1))
+	}
+	tr.FreeAll()
+	if p.Heap().Live() != 0 {
+		t.Error("oct-tree FreeAll leaked")
+	}
+}
+
+func TestOctDAGFault(t *testing.T) {
+	plan := faults.NewPlan().EnableAlways(faults.OctDAG)
+	p, lg := newProc(t, plan)
+	tr := BuildOctTree(p, "t", 2)
+	// Shared subtrees: 1 + 1 + 1 = 3 distinct nodes.
+	if got := tr.CountNodes(); got != 3 {
+		t.Fatalf("CountNodes = %d, want 3", got)
+	}
+	// The shared children have indegree 8: indeg-1 population
+	// collapses (the poorly-disguised signature).
+	g := lg.Graph()
+	if g.CountInDegree(1) != 0 {
+		t.Errorf("indeg-1 = %d, want 0 under full sharing", g.CountInDegree(1))
+	}
+	tr.FreeAll()
+	if p.Heap().Live() != 0 {
+		t.Error("oct-DAG FreeAll leaked or double-freed")
+	}
+}
+
+func TestHashTablePutGetDelete(t *testing.T) {
+	p, _ := newProc(t, nil)
+	h := NewHashTable(p, "t", 16)
+	for k := uint64(0); k < 100; k++ {
+		h.Put(k, k*10)
+	}
+	if h.Size() != 100 {
+		t.Fatalf("Size = %d", h.Size())
+	}
+	h.Put(5, 999) // update
+	if h.Size() != 100 {
+		t.Error("update changed size")
+	}
+	if v, ok := h.Get(5); !ok || v != 999 {
+		t.Errorf("Get(5) = (%d,%v)", v, ok)
+	}
+	if _, ok := h.Get(1000); ok {
+		t.Error("Get of absent key succeeded")
+	}
+	if !h.Delete(5) || h.Delete(5) {
+		t.Error("Delete semantics wrong")
+	}
+	if h.Size() != 99 {
+		t.Errorf("Size after delete = %d", h.Size())
+	}
+}
+
+func TestHashTableResize(t *testing.T) {
+	p, _ := newProc(t, nil)
+	h := NewHashTable(p, "t", 4)
+	for k := uint64(0); k < 64; k++ {
+		h.Put(k, k)
+	}
+	h.Resize(64)
+	if h.NBuckets() != 64 {
+		t.Fatalf("NBuckets = %d", h.NBuckets())
+	}
+	for k := uint64(0); k < 64; k++ {
+		if v, ok := h.Get(k); !ok || v != k {
+			t.Fatalf("lost key %d after resize", k)
+		}
+	}
+}
+
+func TestBadHashFault(t *testing.T) {
+	build := func(plan *faults.Plan) int {
+		p, _ := newProc(t, plan)
+		h := NewHashTable(p, "t", 64)
+		for k := uint64(0); k < 256; k++ {
+			h.Put(k, k)
+		}
+		return h.MaxChainLen()
+	}
+	healthy := build(nil)
+	degenerate := build(faults.NewPlan().EnableAlways(faults.BadHash))
+	if degenerate < 4*healthy {
+		t.Errorf("bad hash max chain %d should dwarf healthy %d", degenerate, healthy)
+	}
+}
+
+func TestHashTableFreeAll(t *testing.T) {
+	p, _ := newProc(t, nil)
+	before := p.Heap().Live()
+	h := NewHashTable(p, "t", 8)
+	for k := uint64(0); k < 30; k++ {
+		h.Put(k, k)
+	}
+	h.FreeAll()
+	if p.Heap().Live() != before {
+		t.Error("hash table FreeAll leaked")
+	}
+}
+
+func TestBTreeInsertContains(t *testing.T) {
+	p, _ := newProc(t, nil)
+	tr := NewBTree(p, "t")
+	rng := p.Rand()
+	var keys []uint64
+	for i := 0; i < 500; i++ {
+		k := uint64(rng.Intn(100000))
+		tr.Insert(k)
+		keys = append(keys, k)
+		if i%50 == 0 {
+			if msg := tr.CheckInvariants(); msg != "" {
+				t.Fatalf("invariants after %d inserts: %s", i+1, msg)
+			}
+		}
+	}
+	if tr.Size() != 500 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	for _, k := range keys {
+		if !tr.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+	if tr.Contains(200000) {
+		t.Error("Contains of absent key")
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("final invariants: %s", msg)
+	}
+}
+
+func TestBTreeSequentialInsert(t *testing.T) {
+	p, _ := newProc(t, nil)
+	tr := NewBTree(p, "t")
+	for k := uint64(0); k < 200; k++ {
+		tr.Insert(k)
+	}
+	if msg := tr.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants: %s", msg)
+	}
+	for k := uint64(0); k < 200; k++ {
+		if !tr.Contains(k) {
+			t.Fatalf("lost key %d", k)
+		}
+	}
+}
+
+func TestBTreeFreeAll(t *testing.T) {
+	p, _ := newProc(t, nil)
+	before := p.Heap().Live()
+	tr := NewBTree(p, "t")
+	for k := uint64(0); k < 300; k++ {
+		tr.Insert(k * 7 % 1000)
+	}
+	tr.FreeAll()
+	if p.Heap().Live() != before {
+		t.Error("B-tree FreeAll leaked")
+	}
+}
+
+func TestAdjGraphPopulate(t *testing.T) {
+	p, _ := newProc(t, nil)
+	g := NewAdjGraph(p, "t", 20)
+	g.Populate(3)
+	total := 0
+	for u := 0; u < 20; u++ {
+		total += g.Degree(u)
+	}
+	if total != 60 {
+		t.Fatalf("total degree = %d, want 60", total)
+	}
+	g.FreeAll()
+	if p.Heap().Live() != 0 {
+		t.Error("graph FreeAll leaked")
+	}
+}
+
+func TestAtypicalGraphFault(t *testing.T) {
+	build := func(plan *faults.Plan) (*heapgraph.Graph, *AdjGraph, *prog.Process) {
+		p, lg := newProc(t, plan)
+		g := NewAdjGraph(p, "t", 30)
+		g.Populate(4)
+		return lg.Graph(), g, p
+	}
+	hg, _, _ := build(nil)
+	fg, fgraph, _ := build(faults.NewPlan().EnableAlways(faults.AtypicalGraph))
+	// Star collapse: vertex 0's object accumulates huge indegree
+	// while every other vertex object is referenced only by the
+	// vertex table (indegree 1) — the indegree-1 population swells
+	// relative to the healthy topology.
+	if fgraph.Degree(0) != 4 {
+		t.Errorf("out-degree unchanged by fault, got %d", fgraph.Degree(0))
+	}
+	healthy1 := float64(hg.CountInDegree(1)) / float64(hg.NumVertices())
+	faulty1 := float64(fg.CountInDegree(1)) / float64(fg.NumVertices())
+	if faulty1 <= healthy1 {
+		t.Errorf("star topology indeg-1 fraction %.3f should exceed healthy %.3f", faulty1, healthy1)
+	}
+}

@@ -1,0 +1,140 @@
+package ds
+
+import (
+	"heapmd/internal/faults"
+	"heapmd/internal/prog"
+)
+
+// AdjGraph is a directed graph represented with heap adjacency lists
+// — the representation behind the paper's "localization bug that
+// produced atypical graphs" (Figure 9).
+//
+// Layout: a header [vertexTable, nvertices], a vertex table object of
+// nvertices pointer words, vertex objects [id, adjHead, degree], and
+// adjacency nodes [targetVertexAddr, next].
+type AdjGraph struct {
+	p    *prog.Process
+	hdr  uint64
+	name string
+}
+
+const (
+	agvID  = 0
+	agvAdj = 1
+	agvDeg = 2
+
+	agnTarget = 0
+	agnNext   = 1
+)
+
+// NewAdjGraph allocates a graph with n isolated vertices.
+func NewAdjGraph(p *prog.Process, name string, n int) *AdjGraph {
+	defer p.Enter(name + ".new")()
+	if n < 1 {
+		n = 1
+	}
+	g := &AdjGraph{p: p, hdr: p.AllocWords(2), name: name}
+	table := p.AllocWords(n)
+	p.StoreField(g.hdr, 0, table)
+	p.StoreField(g.hdr, 1, uint64(n))
+	for i := 0; i < n; i++ {
+		v := p.AllocWords(3)
+		p.StoreField(v, agvID, uint64(i))
+		p.StoreField(table, i, v)
+	}
+	return g
+}
+
+// N returns the vertex count.
+func (g *AdjGraph) N() int { return int(g.p.LoadField(g.hdr, 1)) }
+
+func (g *AdjGraph) table() uint64 { return g.p.LoadField(g.hdr, 0) }
+
+// vertex returns the i-th vertex object address.
+func (g *AdjGraph) vertex(i int) uint64 { return g.p.LoadField(g.table(), i) }
+
+// AddEdge links vertex u to vertex v by prepending an adjacency node.
+func (g *AdjGraph) AddEdge(u, v int) {
+	defer g.p.Enter(g.name + ".addEdge")()
+	vu, vv := g.vertex(u), g.vertex(v)
+	n := g.p.AllocWords(2)
+	g.p.StoreField(n, agnTarget, vv)
+	g.p.StoreField(n, agnNext, g.p.LoadField(vu, agvAdj))
+	g.p.StoreField(vu, agvAdj, n)
+	g.p.StoreField(vu, agvDeg, g.p.LoadField(vu, agvDeg)+1)
+}
+
+// Degree returns the out-degree of vertex u.
+func (g *AdjGraph) Degree(u int) int {
+	return int(g.p.LoadField(g.vertex(u), agvDeg))
+}
+
+// Populate adds roughly avgDeg edges per vertex inside a single
+// function entry (bulk graph construction is one call in the modelled
+// programs). With a healthy generator the edge targets are uniform;
+// under faults.AtypicalGraph every edge targets vertex 0 (a star
+// collapse), the malformed topology of the localization bug.
+func (g *AdjGraph) Populate(avgDeg int) {
+	defer g.p.Enter(g.name + ".populate")()
+	n := g.N()
+	rng := g.p.Rand()
+	atypical := g.p.Plan().Enabled(faults.AtypicalGraph)
+	for u := 0; u < n; u++ {
+		vu := g.vertex(u)
+		for e := 0; e < avgDeg; e++ {
+			var v int
+			if atypical {
+				v = 0
+			} else {
+				v = rng.Intn(n)
+			}
+			node := g.p.AllocWords(2)
+			g.p.StoreField(node, agnTarget, g.vertex(v))
+			g.p.StoreField(node, agnNext, g.p.LoadField(vu, agvAdj))
+			g.p.StoreField(vu, agvAdj, node)
+			g.p.StoreField(vu, agvDeg, g.p.LoadField(vu, agvDeg)+1)
+		}
+	}
+}
+
+// Rewire points a random existing adjacency node of vertex u at a new
+// random target: edge churn without growth, the steady-state update a
+// network-simplex pivot performs.
+func (g *AdjGraph) Rewire(u int) {
+	defer g.p.Enter(g.name + ".rewire")()
+	vu := g.vertex(u)
+	adj := g.p.LoadField(vu, agvAdj)
+	if adj == 0 {
+		return
+	}
+	// Walk a few hops to pick a pseudo-random node on the list.
+	hops := g.p.Rand().Intn(4)
+	for h := 0; h < hops; h++ {
+		next := g.p.LoadField(adj, agnNext)
+		if next == 0 {
+			break
+		}
+		adj = next
+	}
+	g.p.StoreField(adj, agnTarget, g.vertex(g.p.Rand().Intn(g.N())))
+}
+
+// FreeAll frees adjacency nodes, vertices, the table and the header.
+func (g *AdjGraph) FreeAll() {
+	defer g.p.Enter(g.name + ".freeAll")()
+	table := g.table()
+	n := g.N()
+	for i := 0; i < n; i++ {
+		v := g.p.LoadField(table, i)
+		adj := g.p.LoadField(v, agvAdj)
+		for adj != 0 {
+			next := g.p.LoadField(adj, agnNext)
+			g.p.Free(adj)
+			adj = next
+		}
+		g.p.Free(v)
+	}
+	g.p.Free(table)
+	g.p.Free(g.hdr)
+	g.hdr = 0
+}

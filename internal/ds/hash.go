@@ -1,0 +1,183 @@
+package ds
+
+import (
+	"heapmd/internal/faults"
+	"heapmd/internal/prog"
+)
+
+// HashTable is a chained hash table: header [bucketArray, nbuckets,
+// size], bucket array is one heap object of nbuckets words (each the
+// head of a chain), chain node layout [key, value, next].
+//
+// With a sound hash function, chains stay short: most chain nodes are
+// roots-with-outdegree<=1 pointed at only by the bucket array, and
+// the degree profile of the table is flat. Under faults.BadHash the
+// hash collapses to a handful of buckets, producing a few very long
+// chains — the paper's "performance bug" (Figure 9), which indirectly
+// shifts degree metrics (the percentage of outdegree-1 vertices grows
+// with chain length).
+type HashTable struct {
+	p    *prog.Process
+	hdr  uint64
+	name string
+}
+
+const (
+	htBuckets  = 0
+	htNBuckets = 1
+	htSize     = 2
+
+	hnKey   = 0
+	hnValue = 1
+	hnNext  = 2
+)
+
+// NewHashTable allocates a table with the given bucket count.
+func NewHashTable(p *prog.Process, name string, nbuckets int) *HashTable {
+	defer p.Enter(name + ".new")()
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	h := &HashTable{p: p, hdr: p.AllocWords(3), name: name}
+	arr := p.AllocWords(nbuckets)
+	p.StoreField(h.hdr, htBuckets, arr)
+	p.StoreField(h.hdr, htNBuckets, uint64(nbuckets))
+	return h
+}
+
+// Size returns the number of stored entries.
+func (h *HashTable) Size() int { return int(h.p.LoadField(h.hdr, htSize)) }
+
+// NBuckets returns the bucket count.
+func (h *HashTable) NBuckets() int { return int(h.p.LoadField(h.hdr, htNBuckets)) }
+
+func (h *HashTable) bucketArray() uint64 { return h.p.LoadField(h.hdr, htBuckets) }
+
+// hash mixes key over the bucket space; under BadHash it degenerates
+// to the low two bits, collapsing the table into at most 4 chains.
+func (h *HashTable) hash(key uint64) int {
+	n := h.NBuckets()
+	if h.p.Plan().Enabled(faults.BadHash) {
+		return int(key % 4 % uint64(n))
+	}
+	x := key
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// Put inserts or updates key -> value.
+func (h *HashTable) Put(key, value uint64) {
+	defer h.p.Enter(h.name + ".put")()
+	arr := h.bucketArray()
+	b := h.hash(key)
+	head := h.p.LoadField(arr, b)
+	for n := head; n != 0; n = h.p.LoadField(n, hnNext) {
+		if h.p.LoadField(n, hnKey) == key {
+			h.p.StoreField(n, hnValue, value)
+			return
+		}
+	}
+	n := h.p.AllocWords(3)
+	h.p.StoreField(n, hnKey, key)
+	h.p.StoreField(n, hnValue, value)
+	h.p.StoreField(n, hnNext, head)
+	h.p.StoreField(arr, b, n)
+	h.p.StoreField(h.hdr, htSize, uint64(h.Size()+1))
+}
+
+// Get looks up key; ok is false if absent.
+func (h *HashTable) Get(key uint64) (value uint64, ok bool) {
+	defer h.p.Enter(h.name + ".get")()
+	arr := h.bucketArray()
+	for n := h.p.LoadField(arr, h.hash(key)); n != 0; n = h.p.LoadField(n, hnNext) {
+		if h.p.LoadField(n, hnKey) == key {
+			return h.p.LoadField(n, hnValue), true
+		}
+	}
+	return 0, false
+}
+
+// Delete removes key, reporting whether it was present.
+func (h *HashTable) Delete(key uint64) bool {
+	defer h.p.Enter(h.name + ".delete")()
+	arr := h.bucketArray()
+	b := h.hash(key)
+	var prev uint64
+	for n := h.p.LoadField(arr, b); n != 0; n = h.p.LoadField(n, hnNext) {
+		if h.p.LoadField(n, hnKey) == key {
+			next := h.p.LoadField(n, hnNext)
+			if prev == 0 {
+				h.p.StoreField(arr, b, next)
+			} else {
+				h.p.StoreField(prev, hnNext, next)
+			}
+			h.p.Free(n)
+			h.p.StoreField(h.hdr, htSize, uint64(h.Size()-1))
+			return true
+		}
+		prev = n
+	}
+	return false
+}
+
+// MaxChainLen returns the longest chain — the collision diagnostic
+// the BadHash experiment reports.
+func (h *HashTable) MaxChainLen() int {
+	defer h.p.Enter(h.name + ".maxChain")()
+	arr := h.bucketArray()
+	max := 0
+	for b := 0; b < h.NBuckets(); b++ {
+		n := h.p.LoadField(arr, b)
+		length := 0
+		for ; n != 0; n = h.p.LoadField(n, hnNext) {
+			length++
+		}
+		if length > max {
+			max = length
+		}
+	}
+	return max
+}
+
+// Resize rehashes into a new bucket array of the given size.
+func (h *HashTable) Resize(nbuckets int) {
+	defer h.p.Enter(h.name + ".resize")()
+	if nbuckets < 1 {
+		nbuckets = 1
+	}
+	oldArr := h.bucketArray()
+	oldN := h.NBuckets()
+	newArr := h.p.AllocWords(nbuckets)
+	h.p.StoreField(h.hdr, htBuckets, newArr)
+	h.p.StoreField(h.hdr, htNBuckets, uint64(nbuckets))
+	for b := 0; b < oldN; b++ {
+		n := h.p.LoadField(oldArr, b)
+		for n != 0 {
+			next := h.p.LoadField(n, hnNext)
+			nb := h.hash(h.p.LoadField(n, hnKey))
+			h.p.StoreField(n, hnNext, h.p.LoadField(newArr, nb))
+			h.p.StoreField(newArr, nb, n)
+			n = next
+		}
+	}
+	h.p.Free(oldArr)
+}
+
+// FreeAll frees chains, bucket array and header.
+func (h *HashTable) FreeAll() {
+	defer h.p.Enter(h.name + ".freeAll")()
+	arr := h.bucketArray()
+	for b := 0; b < h.NBuckets(); b++ {
+		n := h.p.LoadField(arr, b)
+		for n != 0 {
+			next := h.p.LoadField(n, hnNext)
+			h.p.Free(n)
+			n = next
+		}
+	}
+	h.p.Free(arr)
+	h.p.Free(h.hdr)
+	h.hdr = 0
+}

@@ -1,0 +1,243 @@
+package ds
+
+// Oracle-based property tests: each heap data structure is driven by
+// random operation sequences mirrored against a plain Go structure,
+// and must agree exactly. These catch the class of bookkeeping bug
+// the simulator's own fault taxonomy is about — which would otherwise
+// contaminate every experiment built on the workloads.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"heapmd/internal/prog"
+)
+
+func TestHashTableMatchesMapOracle(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		p := prog.NewProcess(prog.Options{Seed: 1})
+		h := NewHashTable(p, "t", 16)
+		oracle := map[uint64]uint64{}
+		for _, o := range ops {
+			k, v := uint64(o.Key%128), uint64(o.Val)
+			switch o.Kind % 3 {
+			case 0:
+				h.Put(k, v)
+				oracle[k] = v
+			case 1:
+				got, ok := h.Get(k)
+				wantV, wantOK := oracle[k]
+				if ok != wantOK || (ok && got != wantV) {
+					return false
+				}
+			case 2:
+				deleted := h.Delete(k)
+				_, existed := oracle[k]
+				if deleted != existed {
+					return false
+				}
+				delete(oracle, k)
+			}
+		}
+		if h.Size() != len(oracle) {
+			return false
+		}
+		for k, v := range oracle {
+			if got, ok := h.Get(k); !ok || got != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTreeMatchesSetOracle(t *testing.T) {
+	f := func(keys []uint16) bool {
+		p := prog.NewProcess(prog.Options{Seed: 1})
+		tr := NewBTree(p, "t")
+		oracle := map[uint64]bool{}
+		for _, k := range keys {
+			tr.Insert(uint64(k))
+			oracle[uint64(k)] = true
+		}
+		if msg := tr.CheckInvariants(); msg != "" {
+			return false
+		}
+		for k := range oracle {
+			if !tr.Contains(k) {
+				return false
+			}
+		}
+		// Spot-check absences.
+		for probe := uint64(1 << 20); probe < 1<<20+16; probe++ {
+			if tr.Contains(probe) {
+				return false
+			}
+		}
+		return tr.Size() == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBSTMatchesMapOracle(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  uint16
+	}
+	f := func(ops []op) bool {
+		p := prog.NewProcess(prog.Options{Seed: 1})
+		tr := NewBST(p, "t")
+		// The BST stores duplicates; restrict the oracle to a set by
+		// only inserting unseen keys.
+		oracle := map[uint64]bool{}
+		for _, o := range ops {
+			k := uint64(o.Key % 256)
+			switch o.Kind % 3 {
+			case 0:
+				if !oracle[k] {
+					tr.Insert(k)
+					oracle[k] = true
+				}
+			case 1:
+				if (tr.Find(k) != 0) != oracle[k] {
+					return false
+				}
+			case 2:
+				if tr.Delete(k) != oracle[k] {
+					return false
+				}
+				delete(oracle, k)
+			}
+			if tr.CheckParentInvariant() != 0 {
+				return false
+			}
+		}
+		return tr.Size() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDListMatchesSliceOracle(t *testing.T) {
+	type op struct {
+		Kind byte
+		Val  uint16
+		Pick uint16
+	}
+	f := func(ops []op) bool {
+		p := prog.NewProcess(prog.Options{Seed: 1})
+		l := NewDList(p, "t")
+		var oracle []uint64
+		nodes := map[uint64]uint64{} // node addr -> value
+		var order []uint64           // node addrs in list order
+		for _, o := range ops {
+			v := uint64(o.Val)
+			switch o.Kind % 4 {
+			case 0:
+				n := l.PushFront(v)
+				oracle = append([]uint64{v}, oracle...)
+				order = append([]uint64{n}, order...)
+				nodes[n] = v
+			case 1:
+				n := l.PushBack(v)
+				oracle = append(oracle, v)
+				order = append(order, n)
+				nodes[n] = v
+			case 2:
+				if len(order) == 0 {
+					continue
+				}
+				i := int(o.Pick) % len(order)
+				n := order[i]
+				m := l.InsertAfter(n, v)
+				oracle = append(oracle[:i+1], append([]uint64{v}, oracle[i+1:]...)...)
+				order = append(order[:i+1], append([]uint64{m}, order[i+1:]...)...)
+				nodes[m] = v
+			case 3:
+				if len(order) == 0 {
+					continue
+				}
+				i := int(o.Pick) % len(order)
+				l.Remove(order[i])
+				oracle = append(oracle[:i], oracle[i+1:]...)
+				order = append(order[:i], order[i+1:]...)
+			}
+		}
+		if l.Len() != len(oracle) {
+			return false
+		}
+		if l.CheckPrevInvariant() != 0 {
+			return false
+		}
+		var got []uint64
+		l.Each(func(_, v uint64) bool {
+			got = append(got, v)
+			return true
+		})
+		if len(got) != len(oracle) {
+			return false
+		}
+		for i := range got {
+			if got[i] != oracle[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCircularListMatchesSliceOracle(t *testing.T) {
+	type op struct {
+		Kind byte
+		Val  uint16
+	}
+	f := func(ops []op) bool {
+		p := prog.NewProcess(prog.Options{Seed: 1})
+		l := NewCircularList(p, "t")
+		var oracle []uint64
+		for _, o := range ops {
+			switch o.Kind % 3 {
+			case 0:
+				l.Append(uint64(o.Val))
+				oracle = append(oracle, uint64(o.Val))
+			case 1:
+				v, ok := l.PopFront()
+				if ok != (len(oracle) > 0) {
+					return false
+				}
+				if ok {
+					if v != oracle[0] {
+						return false
+					}
+					oracle = oracle[1:]
+				}
+			case 2:
+				l.Rotate()
+				if len(oracle) > 1 {
+					oracle = append(oracle[1:], oracle[0])
+				}
+			}
+			if !l.CheckCircularInvariant() {
+				return false
+			}
+		}
+		return l.Len() == len(oracle)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTypeString(t *testing.T) {
+	tests := []struct {
+		tp   Type
+		want string
+	}{
+		{Alloc, "alloc"}, {Free, "free"}, {Realloc, "realloc"},
+		{Store, "store"}, {Load, "load"}, {Enter, "enter"}, {Leave, "leave"},
+	}
+	for _, tt := range tests {
+		if got := tt.tp.String(); got != tt.want {
+			t.Errorf("%d.String() = %q, want %q", tt.tp, got, tt.want)
+		}
+	}
+	if got := Type(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown type String() = %q", got)
+	}
+}
+
+func TestSinkFunc(t *testing.T) {
+	var got Event
+	s := SinkFunc(func(e Event) { got = e })
+	s.Emit(Event{Type: Store, Addr: 8})
+	if got.Type != Store || got.Addr != 8 {
+		t.Errorf("SinkFunc delivered %+v", got)
+	}
+}
+
+func TestMultiFanOutOrder(t *testing.T) {
+	var order []int
+	m := Multi{
+		SinkFunc(func(Event) { order = append(order, 1) }),
+		SinkFunc(func(Event) { order = append(order, 2) }),
+		SinkFunc(func(Event) { order = append(order, 3) }),
+	}
+	m.Emit(Event{})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("fan-out order = %v", order)
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Emit(Event{Type: Alloc})
+	c.Emit(Event{Type: Alloc})
+	c.Emit(Event{Type: Enter})
+	if c.Count(Alloc) != 2 || c.Count(Enter) != 1 || c.Total != 3 {
+		t.Errorf("counter = %+v", c)
+	}
+	if c.Count(Free) != 0 {
+		t.Errorf("Count(Free) = %d, want 0", c.Count(Free))
+	}
+}

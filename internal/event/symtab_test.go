@@ -1,0 +1,68 @@
+package event
+
+import "testing"
+
+func TestSymtabInternAndName(t *testing.T) {
+	s := NewSymtab()
+	a := s.Intern("alpha")
+	b := s.Intern("beta")
+	if a == NoFn || b == NoFn || a == b {
+		t.Fatalf("bad ids: %d %d", a, b)
+	}
+	if s.Intern("alpha") != a {
+		t.Error("re-intern changed the id")
+	}
+	if s.Name(a) != "alpha" || s.Name(b) != "beta" {
+		t.Error("name resolution failed")
+	}
+	if s.Name(NoFn) != "<none>" {
+		t.Errorf("NoFn name = %q", s.Name(NoFn))
+	}
+	if s.Name(12345) != "?" {
+		t.Errorf("unknown id name = %q", s.Name(12345))
+	}
+}
+
+func TestSymtabEmptyName(t *testing.T) {
+	s := NewSymtab()
+	if s.Intern("") != NoFn {
+		t.Error("empty name must intern to NoFn")
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d after empty intern", s.Len())
+	}
+}
+
+func TestSymtabLookup(t *testing.T) {
+	s := NewSymtab()
+	a := s.Intern("x")
+	if id, ok := s.Lookup("x"); !ok || id != a {
+		t.Error("Lookup of interned name failed")
+	}
+	if _, ok := s.Lookup("y"); ok {
+		t.Error("Lookup of absent name succeeded")
+	}
+}
+
+func TestSymtabNames(t *testing.T) {
+	s := NewSymtab()
+	a := s.Intern("f")
+	b := s.Intern("g")
+	got := s.Names([]FnID{b, a, NoFn})
+	want := []string{"g", "f", "<none>"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Names[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSymtabLen(t *testing.T) {
+	s := NewSymtab()
+	for i, name := range []string{"a", "b", "c"} {
+		s.Intern(name)
+		if s.Len() != i+1 {
+			t.Fatalf("Len = %d, want %d", s.Len(), i+1)
+		}
+	}
+}

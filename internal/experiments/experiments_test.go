@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"heapmd/internal/metrics"
+)
+
+var quick = Config{Quick: true}
+
+func TestFigure4(t *testing.T) {
+	r, err := Figure4(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if len(r.InEqOut[i]) < 10 || len(r.OutDeg1[i]) < 10 {
+			t.Fatalf("input %d has too few samples: %d/%d", i, len(r.InEqOut[i]), len(r.OutDeg1[i]))
+		}
+	}
+	out := r.String()
+	for _, want := range []string{"Figure 4", "In=Out", "Outdeg=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q", want)
+		}
+	}
+}
+
+func TestFigure5(t *testing.T) {
+	r, err := Figure5(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fluctuation series are one shorter than the trimmed series and
+	// should hover near zero for vpr's stable metrics.
+	for i := 0; i < 2; i++ {
+		if len(r.OutDeg1[i]) < 5 {
+			t.Fatalf("fluctuation series too short")
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 5") {
+		t.Error("missing title")
+	}
+}
+
+func TestFigure6(t *testing.T) {
+	r, err := Figure6(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The reproduction's stability claim: vpr's Outdeg=1 must meet
+	// the paper's thresholds on both inputs.
+	for i := 0; i < 2; i++ {
+		c := r.OutDeg1[i]
+		if c.Average > 1 || c.Average < -1 {
+			t.Errorf("input %d Outdeg=1 avg change %.2f exceeds ±1%%", i, c.Average)
+		}
+		if c.StdDev > 5 {
+			t.Errorf("input %d Outdeg=1 stddev %.2f exceeds 5", i, c.StdDev)
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "Input1") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFigure7A(t *testing.T) {
+	r, err := Figure7A(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.StableCount < 1 {
+			t.Errorf("%s: no stable metrics", row.Benchmark)
+		}
+		if !row.ExampleStable {
+			t.Errorf("%s: designated metric %s not stable", row.Benchmark, row.ExampleMetric)
+		}
+		if row.Paper.Metric != row.ExampleMetric {
+			t.Errorf("%s: example metric %s does not match paper %s",
+				row.Benchmark, row.ExampleMetric, row.Paper.Metric)
+		}
+	}
+	if !strings.Contains(r.String(), "Figure 7(A)") {
+		t.Error("missing title")
+	}
+}
+
+func TestFigure7B(t *testing.T) {
+	r, err := Figure7B(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.StableEveryVersion {
+			t.Errorf("%s: %s not stable across versions", row.Benchmark, row.ExampleMetric)
+		}
+		if row.StableCount < 1 {
+			t.Errorf("%s: no metric stable in every version", row.Benchmark)
+		}
+	}
+}
+
+func TestFigure10(t *testing.T) {
+	r, err := Figure10(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violation == nil {
+		t.Fatal("no range violation detected on the buggy input")
+	}
+	if r.Violation.Metric != metrics.InDeg1.String() {
+		t.Errorf("violated metric = %s, want Indeg=1", r.Violation.Metric)
+	}
+	if r.Violation.Direction.String() != "above-max" {
+		t.Errorf("direction = %s, want above-max (missing parent pointers inflate Indeg=1)",
+			r.Violation.Direction)
+	}
+	if len(r.CallStacks) == 0 {
+		t.Error("no call-stack context captured")
+	}
+	out := r.String()
+	if !strings.Contains(out, "calibrated max") {
+		t.Error("rendering missing calibrated bounds")
+	}
+}
+
+func TestSPECInjection(t *testing.T) {
+	r, err := SPECInjection(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	detected := 0
+	for _, row := range r.Rows {
+		if row.Detected {
+			detected++
+		}
+	}
+	if detected < 4 {
+		t.Errorf("only %d/5 injected SPEC bugs detected:\n%s", detected, r)
+	}
+}
+
+func TestThresholdSweep(t *testing.T) {
+	r, err := ThresholdSweep(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if len(row.Points) != len(sweepSettings) {
+			t.Fatalf("%s: %d points", row.Benchmark, len(row.Points))
+		}
+		// Monotone non-decreasing in the thresholds.
+		for i := 1; i < len(row.Points); i++ {
+			if row.Points[i].StableCount < row.Points[i-1].StableCount {
+				t.Errorf("%s: stable count decreased as thresholds loosened: %+v",
+					row.Benchmark, row.Points)
+			}
+		}
+		// Tightest setting must not beat the paper baseline.
+		if row.Points[0].StableCount > row.BaselineStable {
+			t.Errorf("%s: tighter thresholds yielded more stable metrics", row.Benchmark)
+		}
+	}
+}
+
+func TestTable1Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario study in -short mode")
+	}
+	r, err := Table1(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// Division of labour: SWAT finds at least as many leaks as
+		// HeapMD on every application (Table 1's structural claim).
+		if row.SWATLeaks < row.HeapMDLeaks {
+			t.Errorf("%s: SWAT %d < HeapMD %d", row.Program, row.SWATLeaks, row.HeapMDLeaks)
+		}
+		if row.HeapMDFP != 0 {
+			t.Errorf("%s: HeapMD false positives = %d", row.Program, row.HeapMDFP)
+		}
+	}
+	if !strings.Contains(r.String(), "Table 1") {
+		t.Error("missing title")
+	}
+}
+
+func TestTable2Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-scenario study in -short mode")
+	}
+	r, err := Table2(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalPlanted != 40 {
+		t.Fatalf("planted = %d, want the paper's 40", r.TotalPlanted)
+	}
+	// At reduced training scale a scenario or two may slip, but the
+	// bulk of the census must be found and clean runs must be quiet.
+	if r.TotalFound < 32 {
+		t.Errorf("found only %d of 40 at quick scale:\n%s", r.TotalFound, r)
+	}
+	for _, row := range r.Rows {
+		if row.FalsePos != 0 {
+			t.Errorf("%s: %d false positives on clean runs", row.Program, row.FalsePos)
+		}
+	}
+	// Planted distribution matches the paper exactly.
+	wantPlanted := map[string][4]int{
+		"multimedia":   {2, 2, 3, 1},
+		"webapp":       {4, 0, 5, 1},
+		"game_sim":     {3, 3, 2, 1},
+		"game_action":  {2, 1, 3, 2},
+		"productivity": {0, 0, 4, 1},
+	}
+	for _, row := range r.Rows {
+		w := wantPlanted[row.Program]
+		got := [4]int{
+			row.Planted[ProgrammingTypo], row.Planted[SharedState],
+			row.Planted[DataStructInvariant], row.Planted[Indirect],
+		}
+		if got != w {
+			t.Errorf("%s planted %v, want %v", row.Program, got, w)
+		}
+	}
+}
+
+func TestGranularity(t *testing.T) {
+	r, err := Granularity(quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Object granularity: layout-invariant.
+	if r.ObjectA != r.ObjectB {
+		t.Errorf("object granularity differs by layout: %v vs %v", r.ObjectA, r.ObjectB)
+	}
+	// Field granularity: layout A has only two in==out vertices,
+	// layout B all but two (paper Figure 3's exact claim).
+	if r.FieldA >= 50 {
+		t.Errorf("field/layout A In=Out = %v, want small", r.FieldA)
+	}
+	if r.FieldB <= 50 {
+		t.Errorf("field/layout B In=Out = %v, want large", r.FieldB)
+	}
+	if !strings.Contains(r.String(), "Figure 3") {
+		t.Error("missing title")
+	}
+}

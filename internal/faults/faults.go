@@ -1,0 +1,164 @@
+// Package faults defines the fault-injection plans that reproduce the
+// paper's bug taxonomy (Figures 8 and 9, Section 4).
+//
+// The paper's evaluation finds bugs that were already present in
+// commercial applications; a reproduction must instead inject them.
+// Each fault name below corresponds to a bug mechanism described in
+// the paper, and the data-structure library (package ds) and workloads
+// consult the active Plan at the exact code sites where the original
+// bugs lived: an insertion that forgets back-pointers, a free of a
+// shared object, a copy loop with a wrong index, and so on.
+//
+// Faults are probabilistic and budgeted: a fault can be configured to
+// fire on a fraction of its opportunities and/or at most N times,
+// which is how the paper's "systemic" bugs (repeated often enough to
+// move global heap metrics) are distinguished from "well disguised"
+// ones (too rare to matter).
+package faults
+
+import "math/rand"
+
+// Canonical fault names. Each maps to a paper bug class.
+const (
+	// DListNoPrev skips updating prev pointers on doubly-linked-list
+	// insertion — the Figure 1 bug (data-structure invariant).
+	DListNoPrev = "dlist-missing-prev"
+	// TypoLeak drops a list head during a table copy due to a wrong
+	// index — the Figure 11 bug (programming typo causing a leak).
+	TypoLeak = "typo-wrong-index-leak"
+	// SharedFree frees the head of a circular list that the tail
+	// still references — the Figure 12 bug (shared-state error,
+	// dangling pointer).
+	SharedFree = "shared-free-dangling"
+	// TreeNoParent omits child->parent pointers on tree insertion
+	// from one call site — the Figure 10 / PC Game(action) bug
+	// (data-structure invariant).
+	TreeNoParent = "tree-missing-parent"
+	// OctDAG makes an oct-tree construction share subtrees,
+	// producing an oct-DAG — the paper's only *poorly disguised*
+	// bug (Section 4.3).
+	OctDAG = "octtree-dag"
+	// BadHash selects a degenerate hash function, collapsing a hash
+	// table into a few long chains — the "performance bug"
+	// (indirect, Figure 9).
+	BadHash = "hash-bad-function"
+	// SingleChild makes a tree builder produce one child where two
+	// are normal — indirect logic error (Figure 9).
+	SingleChild = "tree-single-child"
+	// AtypicalGraph produces malformed adjacency-list graphs — the
+	// localization bug (indirect, Figure 9).
+	AtypicalGraph = "graph-atypical-adjacency"
+	// SmallLeak leaks only a handful of objects — a *well disguised*
+	// bug HeapMD must NOT detect (Section 4.2).
+	SmallLeak = "leak-few-objects"
+	// ReachableLeak leaks objects that stay reachable — an
+	// *invisible* bug HeapMD must NOT detect; only staleness-based
+	// tools like SWAT can (Section 4.2).
+	ReachableLeak = "leak-reachable"
+)
+
+// Config controls one fault.
+type Config struct {
+	// Enabled gates the fault entirely.
+	Enabled bool
+	// Prob is the probability the fault fires at each opportunity;
+	// 0 means 1.0 (always).
+	Prob float64
+	// MaxTriggers caps the number of firings; 0 means unlimited.
+	MaxTriggers int
+}
+
+// Plan is a set of configured faults plus firing counters. The zero
+// value is a usable all-disabled plan.
+type Plan struct {
+	configs  map[string]Config
+	triggers map[string]int
+}
+
+// NewPlan returns an empty (all-disabled) plan.
+func NewPlan() *Plan {
+	return &Plan{
+		configs:  make(map[string]Config),
+		triggers: make(map[string]int),
+	}
+}
+
+// Enable activates a fault with the given config.
+func (p *Plan) Enable(name string, cfg Config) *Plan {
+	if p.configs == nil {
+		p.configs = make(map[string]Config)
+		p.triggers = make(map[string]int)
+	}
+	cfg.Enabled = true
+	p.configs[name] = cfg
+	return p
+}
+
+// EnableAlways activates a fault that fires at every opportunity.
+func (p *Plan) EnableAlways(name string) *Plan {
+	return p.Enable(name, Config{})
+}
+
+// Enabled reports whether the fault is active (regardless of
+// probability or budget).
+func (p *Plan) Enabled(name string) bool {
+	if p == nil || p.configs == nil {
+		return false
+	}
+	return p.configs[name].Enabled
+}
+
+// Hit decides whether the fault fires at this opportunity, consuming
+// budget and randomness as configured. A nil plan never fires.
+func (p *Plan) Hit(name string, rng *rand.Rand) bool {
+	if p == nil || p.configs == nil {
+		return false
+	}
+	cfg, ok := p.configs[name]
+	if !ok || !cfg.Enabled {
+		return false
+	}
+	if cfg.MaxTriggers > 0 && p.triggers[name] >= cfg.MaxTriggers {
+		return false
+	}
+	if cfg.Prob > 0 && cfg.Prob < 1 {
+		if rng == nil || rng.Float64() >= cfg.Prob {
+			return false
+		}
+	}
+	p.triggers[name]++
+	return true
+}
+
+// Triggers returns how many times the fault has fired.
+func (p *Plan) Triggers(name string) int {
+	if p == nil || p.triggers == nil {
+		return 0
+	}
+	return p.triggers[name]
+}
+
+// Active returns the names of enabled faults (order unspecified).
+func (p *Plan) Active() []string {
+	if p == nil {
+		return nil
+	}
+	var out []string
+	for name, cfg := range p.configs {
+		if cfg.Enabled {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Reset zeroes the firing counters, keeping the configuration; used
+// when one plan drives several runs.
+func (p *Plan) Reset() {
+	if p == nil {
+		return
+	}
+	for k := range p.triggers {
+		delete(p.triggers, k)
+	}
+}

@@ -1,0 +1,96 @@
+package faults
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNilPlanNeverFires(t *testing.T) {
+	var p *Plan
+	if p.Hit(DListNoPrev, nil) {
+		t.Error("nil plan fired")
+	}
+	if p.Enabled(DListNoPrev) {
+		t.Error("nil plan reports enabled")
+	}
+	if p.Triggers(DListNoPrev) != 0 {
+		t.Error("nil plan has triggers")
+	}
+	if p.Active() != nil {
+		t.Error("nil plan has active faults")
+	}
+	p.Reset() // must not panic
+}
+
+func TestZeroPlanNeverFires(t *testing.T) {
+	var p Plan
+	if p.Hit(TypoLeak, nil) {
+		t.Error("zero plan fired")
+	}
+}
+
+func TestEnableAlways(t *testing.T) {
+	p := NewPlan().EnableAlways(DListNoPrev)
+	if !p.Enabled(DListNoPrev) {
+		t.Fatal("fault not enabled")
+	}
+	for i := 0; i < 5; i++ {
+		if !p.Hit(DListNoPrev, nil) {
+			t.Fatal("always-on fault did not fire")
+		}
+	}
+	if p.Triggers(DListNoPrev) != 5 {
+		t.Errorf("Triggers = %d, want 5", p.Triggers(DListNoPrev))
+	}
+	if p.Hit(TypoLeak, nil) {
+		t.Error("unconfigured fault fired")
+	}
+}
+
+func TestMaxTriggers(t *testing.T) {
+	p := NewPlan().Enable(SmallLeak, Config{MaxTriggers: 3})
+	fired := 0
+	for i := 0; i < 10; i++ {
+		if p.Hit(SmallLeak, nil) {
+			fired++
+		}
+	}
+	if fired != 3 {
+		t.Errorf("fired %d times, want 3", fired)
+	}
+}
+
+func TestProbability(t *testing.T) {
+	p := NewPlan().Enable(BadHash, Config{Prob: 0.5})
+	rng := rand.New(rand.NewSource(1))
+	fired := 0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		if p.Hit(BadHash, rng) {
+			fired++
+		}
+	}
+	if fired < n/3 || fired > 2*n/3 {
+		t.Errorf("p=0.5 fault fired %d/%d times", fired, n)
+	}
+	// Probabilistic fault with nil RNG must not fire (fail safe).
+	q := NewPlan().Enable(BadHash, Config{Prob: 0.5})
+	if q.Hit(BadHash, nil) {
+		t.Error("probabilistic fault fired without RNG")
+	}
+}
+
+func TestActiveAndReset(t *testing.T) {
+	p := NewPlan().EnableAlways(OctDAG).EnableAlways(TreeNoParent)
+	if len(p.Active()) != 2 {
+		t.Errorf("Active = %v", p.Active())
+	}
+	p.Hit(OctDAG, nil)
+	p.Reset()
+	if p.Triggers(OctDAG) != 0 {
+		t.Error("Reset did not clear triggers")
+	}
+	if !p.Enabled(OctDAG) {
+		t.Error("Reset cleared configuration")
+	}
+}

@@ -1,0 +1,218 @@
+package heapgraph
+
+// This file implements the on-demand whole-graph analyses backing
+// HeapMD's extension metrics (paper Section 2.1 lists "the size and
+// number of connected and strongly connected components" as candidate
+// metrics beyond the degree suite). These walk the graph and are
+// therefore much more expensive than the O(1) degree metrics; the
+// logger only evaluates them when the extended metric set is enabled.
+
+// ComponentStats summarizes a components decomposition.
+type ComponentStats struct {
+	Count   int // number of components
+	Largest int // vertex count of the largest component
+}
+
+// WeaklyConnectedComponents computes the number and largest size of
+// weakly connected components (edge direction ignored). Isolated
+// vertices are singleton components.
+func (g *Graph) WeaklyConnectedComponents() ComponentStats {
+	seen := make(map[VertexID]bool, len(g.vertices))
+	var stats ComponentStats
+	stack := make([]VertexID, 0, 64)
+	for root := range g.vertices {
+		if seen[root] {
+			continue
+		}
+		stats.Count++
+		size := 0
+		stack = append(stack[:0], root)
+		seen[root] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			vx := g.vertices[v]
+			for s := range vx.out {
+				if !seen[s] {
+					seen[s] = true
+					stack = append(stack, s)
+				}
+			}
+			for p := range vx.in {
+				if !seen[p] {
+					seen[p] = true
+					stack = append(stack, p)
+				}
+			}
+		}
+		if size > stats.Largest {
+			stats.Largest = size
+		}
+	}
+	return stats
+}
+
+// StronglyConnectedComponents computes the number and largest size of
+// strongly connected components using an iterative Tarjan algorithm.
+// The iterative formulation matters: heap graphs routinely contain
+// list structures hundreds of thousands of vertices long, which would
+// overflow the goroutine stack under naive recursion.
+func (g *Graph) StronglyConnectedComponents() ComponentStats {
+	n := len(g.vertices)
+	if n == 0 {
+		return ComponentStats{}
+	}
+	index := make(map[VertexID]int, n) // discovery index, 0 = unvisited
+	lowlink := make(map[VertexID]int, n)
+	onStack := make(map[VertexID]bool, n)
+	sccStack := make([]VertexID, 0, 64)
+	next := 1
+
+	var stats ComponentStats
+
+	// frame emulates Tarjan's recursion: iter holds the successors
+	// still to be explored.
+	type frame struct {
+		v     VertexID
+		succs []VertexID
+		pos   int
+	}
+
+	succsOf := func(v VertexID) []VertexID {
+		vx := g.vertices[v]
+		if len(vx.out) == 0 {
+			return nil
+		}
+		out := make([]VertexID, 0, len(vx.out))
+		for s := range vx.out {
+			out = append(out, s)
+		}
+		return out
+	}
+
+	for root := range g.vertices {
+		if index[root] != 0 {
+			continue
+		}
+		stack := []frame{{v: root, succs: succsOf(root)}}
+		index[root] = next
+		lowlink[root] = next
+		next++
+		sccStack = append(sccStack, root)
+		onStack[root] = true
+
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.pos < len(f.succs) {
+				w := f.succs[f.pos]
+				f.pos++
+				if index[w] == 0 {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					sccStack = append(sccStack, w)
+					onStack[w] = true
+					stack = append(stack, frame{v: w, succs: succsOf(w)})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			// All successors explored: pop the frame.
+			v := f.v
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				// v is an SCC root: pop its component.
+				size := 0
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					size++
+					if w == v {
+						break
+					}
+				}
+				stats.Count++
+				if size > stats.Largest {
+					stats.Largest = size
+				}
+			}
+		}
+	}
+	return stats
+}
+
+// CheckInvariants verifies the incremental bookkeeping against a full
+// recomputation: histogram populations, the in==out counter, and the
+// edge total must all match what a fresh scan of the adjacency
+// structure produces. It returns a non-empty description of the first
+// violation found, or "" when consistent. Tests and the fuzzing
+// harness call this after mutation sequences.
+func (g *Graph) CheckInvariants() string {
+	var inHist, outHist [maxTracked + 2]int
+	eq, edges := 0, 0
+	for v, vx := range g.vertices {
+		in, out := 0, 0
+		for _, m := range vx.in {
+			in += m
+		}
+		for _, m := range vx.out {
+			out += m
+		}
+		if in != vx.inDeg {
+			return "cached indegree mismatch for vertex " + itoa(uint64(v))
+		}
+		if out != vx.outDeg {
+			return "cached outdegree mismatch for vertex " + itoa(uint64(v))
+		}
+		inHist[bucket(in)]++
+		outHist[bucket(out)]++
+		if in == out {
+			eq++
+		}
+		edges += out
+	}
+	if inHist != g.inHist {
+		return "indegree histogram mismatch"
+	}
+	if outHist != g.outHist {
+		return "outdegree histogram mismatch"
+	}
+	if eq != g.eq {
+		return "in==out counter mismatch"
+	}
+	if edges != g.edges {
+		return "edge count mismatch"
+	}
+	// Symmetry: u.out[v] must equal v.in[u].
+	for u, ux := range g.vertices {
+		for v, m := range ux.out {
+			if g.vertices[v].in[u] != m {
+				return "adjacency asymmetry between " + itoa(uint64(u)) + " and " + itoa(uint64(v))
+			}
+		}
+	}
+	return ""
+}
+
+func itoa(x uint64) string {
+	if x == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for x > 0 {
+		i--
+		buf[i] = byte('0' + x%10)
+		x /= 10
+	}
+	return string(buf[i:])
+}

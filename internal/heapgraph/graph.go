@@ -1,0 +1,306 @@
+// Package heapgraph maintains the heap-graph image at the core of
+// HeapMD (paper Section 2.1): a directed multigraph whose vertices are
+// heap-allocated objects and whose edges are pointer values stored in
+// one object that refer to another.
+//
+// The execution logger mutates this graph on every allocation, free and
+// pointer write, and samples degree-based metrics at metric computation
+// points. To keep sampling O(1) — the paper samples every 100,000th
+// function entry in programs with hundreds of megabytes of heap — the
+// graph maintains incremental degree histograms: for every mutation it
+// updates the population counts of each in/out-degree and the count of
+// vertices with indegree == outdegree, so metric evaluation never walks
+// the graph.
+//
+// Edges are multi-edges: two fields of object A pointing at object B
+// contribute 2 to B's indegree, matching the "number of pointers"
+// reading of degree used by the paper.
+package heapgraph
+
+import "fmt"
+
+// VertexID names a heap object in the graph. The execution logger
+// assigns IDs from an allocation generation counter, so a recycled
+// address maps to a fresh vertex.
+type VertexID uint64
+
+// maxTracked is the largest degree tracked with its own histogram
+// bucket; larger degrees share an overflow bucket. The paper's metrics
+// only inspect degrees 0..2, but we track a few more for extension
+// metrics and diagnostics.
+const maxTracked = 8
+
+type vertex struct {
+	out    map[VertexID]int // successor -> edge multiplicity
+	in     map[VertexID]int // predecessor -> edge multiplicity
+	outDeg int              // total outgoing multiplicity
+	inDeg  int              // total incoming multiplicity
+}
+
+// Graph is the mutable heap-graph image. It is not safe for concurrent
+// use.
+type Graph struct {
+	vertices map[VertexID]*vertex
+	inHist   [maxTracked + 2]int // inHist[d] = #vertices with indegree d; last bucket is overflow
+	outHist  [maxTracked + 2]int
+	eq       int // #vertices with indegree == outdegree
+	edges    int // total edge multiplicity
+}
+
+// New returns an empty heap-graph.
+func New() *Graph {
+	return &Graph{vertices: make(map[VertexID]*vertex)}
+}
+
+func bucket(d int) int {
+	if d > maxTracked {
+		return maxTracked + 1
+	}
+	return d
+}
+
+// track updates the histograms and eq counter for a vertex whose
+// degrees change from (oldIn, oldOut) to (newIn, newOut).
+func (g *Graph) track(oldIn, oldOut, newIn, newOut int) {
+	g.inHist[bucket(oldIn)]--
+	g.outHist[bucket(oldOut)]--
+	g.inHist[bucket(newIn)]++
+	g.outHist[bucket(newOut)]++
+	if oldIn == oldOut {
+		g.eq--
+	}
+	if newIn == newOut {
+		g.eq++
+	}
+}
+
+// AddVertex inserts a new isolated vertex. Adding an existing vertex
+// is a no-op (the logger can observe redundant allocation events when
+// replaying truncated traces).
+func (g *Graph) AddVertex(v VertexID) {
+	if _, ok := g.vertices[v]; ok {
+		return
+	}
+	g.vertices[v] = &vertex{}
+	g.inHist[0]++
+	g.outHist[0]++
+	g.eq++ // 0 == 0
+}
+
+// HasVertex reports whether v is present.
+func (g *Graph) HasVertex(v VertexID) bool {
+	_, ok := g.vertices[v]
+	return ok
+}
+
+// RemoveVertex deletes v and every incident edge (in both directions),
+// adjusting the degrees of its neighbours. Removing an absent vertex
+// is a no-op.
+func (g *Graph) RemoveVertex(v VertexID) {
+	vx, ok := g.vertices[v]
+	if !ok {
+		return
+	}
+	// Detach outgoing edges: each successor loses incoming
+	// multiplicity.
+	for succ, mult := range vx.out {
+		if succ == v {
+			g.edges -= mult
+			continue // self-loop dies with the vertex
+		}
+		sx := g.vertices[succ]
+		g.track(sx.inDeg, sx.outDeg, sx.inDeg-mult, sx.outDeg)
+		sx.inDeg -= mult
+		delete(sx.in, v)
+		g.edges -= mult
+	}
+	// Detach incoming edges.
+	for pred, mult := range vx.in {
+		if pred == v {
+			continue // self-loop already handled above
+		}
+		px := g.vertices[pred]
+		g.track(px.inDeg, px.outDeg, px.inDeg, px.outDeg-mult)
+		px.outDeg -= mult
+		delete(px.out, v)
+		g.edges -= mult
+	}
+	// Remove v itself from the histograms.
+	g.inHist[bucket(vx.inDeg)]--
+	g.outHist[bucket(vx.outDeg)]--
+	if vx.inDeg == vx.outDeg {
+		g.eq--
+	}
+	delete(g.vertices, v)
+}
+
+// AddEdge adds one unit of edge multiplicity from u to v. Both
+// vertices must exist; AddEdge reports whether the edge was added.
+// Self-loops are permitted (an object can point to itself).
+func (g *Graph) AddEdge(u, v VertexID) bool {
+	ux, ok := g.vertices[u]
+	if !ok {
+		return false
+	}
+	vx, ok := g.vertices[v]
+	if !ok {
+		return false
+	}
+	if ux.out == nil {
+		ux.out = make(map[VertexID]int)
+	}
+	if vx.in == nil {
+		vx.in = make(map[VertexID]int)
+	}
+	ux.out[v]++
+	vx.in[u]++
+	if u == v {
+		g.track(ux.inDeg, ux.outDeg, ux.inDeg+1, ux.outDeg+1)
+		ux.inDeg++
+		ux.outDeg++
+	} else {
+		g.track(ux.inDeg, ux.outDeg, ux.inDeg, ux.outDeg+1)
+		ux.outDeg++
+		g.track(vx.inDeg, vx.outDeg, vx.inDeg+1, vx.outDeg)
+		vx.inDeg++
+	}
+	g.edges++
+	return true
+}
+
+// RemoveEdge removes one unit of edge multiplicity from u to v,
+// reporting whether an edge was present to remove.
+func (g *Graph) RemoveEdge(u, v VertexID) bool {
+	ux, ok := g.vertices[u]
+	if !ok || ux.out[v] == 0 {
+		return false
+	}
+	vx := g.vertices[v]
+	ux.out[v]--
+	if ux.out[v] == 0 {
+		delete(ux.out, v)
+	}
+	vx.in[u]--
+	if vx.in[u] == 0 {
+		delete(vx.in, u)
+	}
+	if u == v {
+		g.track(ux.inDeg, ux.outDeg, ux.inDeg-1, ux.outDeg-1)
+		ux.inDeg--
+		ux.outDeg--
+	} else {
+		g.track(ux.inDeg, ux.outDeg, ux.inDeg, ux.outDeg-1)
+		ux.outDeg--
+		g.track(vx.inDeg, vx.outDeg, vx.inDeg-1, vx.outDeg)
+		vx.inDeg--
+	}
+	g.edges--
+	return true
+}
+
+// Multiplicity returns the number of parallel edges from u to v.
+func (g *Graph) Multiplicity(u, v VertexID) int {
+	ux, ok := g.vertices[u]
+	if !ok {
+		return 0
+	}
+	return ux.out[v]
+}
+
+// NumVertices returns the number of vertices.
+func (g *Graph) NumVertices() int { return len(g.vertices) }
+
+// NumEdges returns the total edge multiplicity.
+func (g *Graph) NumEdges() int { return g.edges }
+
+// CountInDegree returns the number of vertices with indegree exactly d
+// (for d <= maxTracked; larger d values return 0 — use
+// CountInDegreeOverflow for the tail).
+func (g *Graph) CountInDegree(d int) int {
+	if d < 0 || d > maxTracked {
+		return 0
+	}
+	return g.inHist[d]
+}
+
+// CountOutDegree returns the number of vertices with outdegree exactly
+// d (d <= maxTracked).
+func (g *Graph) CountOutDegree(d int) int {
+	if d < 0 || d > maxTracked {
+		return 0
+	}
+	return g.outHist[d]
+}
+
+// CountInDegreeOverflow returns the number of vertices with indegree
+// greater than maxTracked.
+func (g *Graph) CountInDegreeOverflow() int { return g.inHist[maxTracked+1] }
+
+// CountOutDegreeOverflow returns the number of vertices with outdegree
+// greater than maxTracked.
+func (g *Graph) CountOutDegreeOverflow() int { return g.outHist[maxTracked+1] }
+
+// CountInEqOut returns the number of vertices whose indegree equals
+// their outdegree.
+func (g *Graph) CountInEqOut() int { return g.eq }
+
+// InDegree returns v's indegree (total incoming multiplicity).
+func (g *Graph) InDegree(v VertexID) int {
+	vx, ok := g.vertices[v]
+	if !ok {
+		return 0
+	}
+	return vx.inDeg
+}
+
+// OutDegree returns v's outdegree.
+func (g *Graph) OutDegree(v VertexID) int {
+	vx, ok := g.vertices[v]
+	if !ok {
+		return 0
+	}
+	return vx.outDeg
+}
+
+// Successors calls fn for every distinct successor of v with the edge
+// multiplicity; iteration order is unspecified.
+func (g *Graph) Successors(v VertexID, fn func(succ VertexID, mult int) bool) {
+	vx, ok := g.vertices[v]
+	if !ok {
+		return
+	}
+	for s, m := range vx.out {
+		if !fn(s, m) {
+			return
+		}
+	}
+}
+
+// Predecessors calls fn for every distinct predecessor of v with the
+// edge multiplicity.
+func (g *Graph) Predecessors(v VertexID, fn func(pred VertexID, mult int) bool) {
+	vx, ok := g.vertices[v]
+	if !ok {
+		return
+	}
+	for p, m := range vx.in {
+		if !fn(p, m) {
+			return
+		}
+	}
+}
+
+// Vertices calls fn for every vertex; iteration order is unspecified.
+func (g *Graph) Vertices(fn func(VertexID) bool) {
+	for v := range g.vertices {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
+// String summarizes the graph for debugging.
+func (g *Graph) String() string {
+	return fmt.Sprintf("heapgraph{V=%d E=%d roots=%d leaves=%d in==out=%d}",
+		len(g.vertices), g.edges, g.inHist[0], g.outHist[0], g.eq)
+}

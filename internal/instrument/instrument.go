@@ -1,0 +1,77 @@
+// Package instrument is the reproduction's stand-in for Vulcan, the
+// binary transformation tool the paper builds its instrumenter on
+// (Section 2.1, Figure 2: input.exe -> binary instrumenter ->
+// output.exe).
+//
+// Instrument rewrites machine code it has never seen source for: it
+// prepends an ENTER hook to every function (interning the function's
+// name in the symbol table so bug reports can resolve call stacks),
+// and plants a LEAVE hook before every RET and at the fall-through
+// end of each function. ENTER hooks are what give HeapMD its metric
+// computation points and allocation-site attribution; the heap
+// instructions need no rewriting because the simulated heap already
+// reports every allocator call and heap access, just as the paper's
+// instrumented malloc/free and write instructions do.
+package instrument
+
+import (
+	"fmt"
+
+	"heapmd/internal/event"
+	"heapmd/internal/machine"
+)
+
+// Instrument returns a rewritten copy of prog with ENTER/LEAVE hooks
+// inserted, plus the symbol table mapping hook IDs to function names.
+// The input program is not modified.
+func Instrument(prog *machine.Program) (*machine.Program, *event.Symtab, error) {
+	if prog == nil || len(prog.Fns) == 0 {
+		return nil, nil, machine.ErrNoProgram
+	}
+	sym := event.NewSymtab()
+	out := &machine.Program{Fns: make([]machine.Fn, len(prog.Fns))}
+	for i, fn := range prog.Fns {
+		for _, in := range fn.Code {
+			if in.Op == machine.ENTER || in.Op == machine.LEAVE {
+				return nil, nil, fmt.Errorf("instrument: %s already instrumented (found %s)", fn.Name, in.Op)
+			}
+		}
+		id := sym.Intern(fn.Name)
+		code := make([]machine.Instr, 0, len(fn.Code)+4)
+		code = append(code, machine.Instr{Op: machine.ENTER, Imm: uint64(id)})
+		// Jump targets shift by one because of the prologue; RET
+		// sites gain a preceding LEAVE, shifting everything after
+		// them too. Compute the new index of every old instruction
+		// first, then rewrite targets.
+		newIndex := make([]int, len(fn.Code)+1)
+		idx := 1 // after the ENTER prologue
+		for j, in := range fn.Code {
+			newIndex[j] = idx
+			if in.Op == machine.RET {
+				idx += 2 // LEAVE + RET
+			} else {
+				idx++
+			}
+		}
+		newIndex[len(fn.Code)] = idx // one-past-end target
+		for _, in := range fn.Code {
+			switch in.Op {
+			case machine.RET:
+				code = append(code, machine.Instr{Op: machine.LEAVE}, in)
+				continue
+			case machine.JMP:
+				in.A = newIndex[in.A]
+			case machine.JNZ, machine.JZ:
+				in.B = newIndex[in.B]
+			}
+			code = append(code, in)
+		}
+		// Fall-through exit: a trailing LEAVE so the hook fires for
+		// functions that end (or branch to one-past-the-end) without
+		// RET. When every path RETs this is dead code, which is
+		// cheaper than proving it so.
+		code = append(code, machine.Instr{Op: machine.LEAVE})
+		out.Fns[i] = machine.Fn{Name: fn.Name, Code: code}
+	}
+	return out, sym, nil
+}

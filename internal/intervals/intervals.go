@@ -1,0 +1,192 @@
+// Package intervals provides an ordered map from disjoint address
+// ranges to values, with stabbing ("which range contains this
+// address?") queries.
+//
+// Two components keep such maps: the simulated heap (package heap)
+// maps live ranges to allocator metadata, and the execution logger
+// (package logger) maintains its *own* image of the heap — the paper
+// is explicit that the logger mirrors heap connectivity rather than
+// traversing the program's heap, to preserve cache locality. Both use
+// this structure.
+//
+// The implementation is a randomized treap: expected O(log n) insert,
+// remove, exact lookup and stabbing query, with deterministic
+// priorities so whole-run replays are bit-identical.
+package intervals
+
+// Map associates disjoint [base, base+size) ranges with values of
+// type V. The zero Map is not ready to use; call New.
+type Map[V any] struct {
+	root *node[V]
+	rng  uint64
+	size int
+}
+
+type node[V any] struct {
+	base     uint64
+	size     uint64
+	value    V
+	priority uint64
+	left     *node[V]
+	right    *node[V]
+}
+
+// New returns an empty map.
+func New[V any]() *Map[V] {
+	return &Map[V]{rng: 0x9E3779B97F4A7C15}
+}
+
+func (m *Map[V]) nextPriority() uint64 {
+	// xorshift64* — deterministic, fast, adequate for treap balance.
+	x := m.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	m.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Insert adds the range [base, base+size) with the given value. The
+// caller must guarantee the range does not overlap an existing one;
+// allocators never hand out overlapping live ranges.
+func (m *Map[V]) Insert(base, size uint64, value V) {
+	n := &node[V]{base: base, size: size, value: value, priority: m.nextPriority()}
+	m.root = insert(m.root, n)
+	m.size++
+}
+
+func insert[V any](root, n *node[V]) *node[V] {
+	if root == nil {
+		return n
+	}
+	if n.base < root.base {
+		root.left = insert(root.left, n)
+		if root.left.priority > root.priority {
+			root = rotateRight(root)
+		}
+	} else {
+		root.right = insert(root.right, n)
+		if root.right.priority > root.priority {
+			root = rotateLeft(root)
+		}
+	}
+	return root
+}
+
+func rotateRight[V any](n *node[V]) *node[V] {
+	l := n.left
+	n.left = l.right
+	l.right = n
+	return l
+}
+
+func rotateLeft[V any](n *node[V]) *node[V] {
+	r := n.right
+	n.right = r.left
+	r.left = n
+	return r
+}
+
+// Remove deletes the range based exactly at base, reporting whether an
+// entry was removed.
+func (m *Map[V]) Remove(base uint64) bool {
+	var removed bool
+	m.root, removed = remove(m.root, base)
+	if removed {
+		m.size--
+	}
+	return removed
+}
+
+func remove[V any](root *node[V], base uint64) (*node[V], bool) {
+	if root == nil {
+		return nil, false
+	}
+	var removed bool
+	switch {
+	case base < root.base:
+		root.left, removed = remove(root.left, base)
+	case base > root.base:
+		root.right, removed = remove(root.right, base)
+	default:
+		return merge(root.left, root.right), true
+	}
+	return root, removed
+}
+
+// merge joins two treaps where every key in l is smaller than every
+// key in r.
+func merge[V any](l, r *node[V]) *node[V] {
+	switch {
+	case l == nil:
+		return r
+	case r == nil:
+		return l
+	case l.priority > r.priority:
+		l.right = merge(l.right, r)
+		return l
+	default:
+		r.left = merge(l, r.left)
+		return r
+	}
+}
+
+// Get returns the value of the range based exactly at base.
+func (m *Map[V]) Get(base uint64) (V, bool) {
+	n := m.root
+	for n != nil {
+		switch {
+		case base < n.base:
+			n = n.left
+		case base > n.base:
+			n = n.right
+		default:
+			return n.value, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Stab returns the base, size and value of the range containing addr.
+// Interior addresses resolve to their containing range, which is how
+// object-granularity heap graphs attribute interior pointers.
+func (m *Map[V]) Stab(addr uint64) (base, size uint64, value V, ok bool) {
+	var best *node[V]
+	n := m.root
+	for n != nil {
+		if n.base <= addr {
+			best = n
+			n = n.right
+		} else {
+			n = n.left
+		}
+	}
+	if best != nil && addr < best.base+best.size {
+		return best.base, best.size, best.value, true
+	}
+	var zero V
+	return 0, 0, zero, false
+}
+
+// Len returns the number of ranges held.
+func (m *Map[V]) Len() int { return m.size }
+
+// Walk visits every range in ascending base order; iteration stops if
+// fn returns false. fn must not mutate the map.
+func (m *Map[V]) Walk(fn func(base, size uint64, value V) bool) {
+	walk(m.root, fn)
+}
+
+func walk[V any](n *node[V], fn func(uint64, uint64, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	if !walk(n.left, fn) {
+		return false
+	}
+	if !fn(n.base, n.size, n.value) {
+		return false
+	}
+	return walk(n.right, fn)
+}

@@ -1,0 +1,216 @@
+package intervals
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertGetRemove(t *testing.T) {
+	m := New[string]()
+	m.Insert(100, 24, "a")
+	m.Insert(200, 8, "b")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+	if v, ok := m.Get(100); !ok || v != "a" {
+		t.Errorf("Get(100) = (%q,%v)", v, ok)
+	}
+	if _, ok := m.Get(101); ok {
+		t.Error("Get of interior address should fail")
+	}
+	if !m.Remove(100) {
+		t.Error("Remove(100) failed")
+	}
+	if m.Remove(100) {
+		t.Error("second Remove(100) should fail")
+	}
+	if m.Len() != 1 {
+		t.Errorf("Len = %d, want 1", m.Len())
+	}
+}
+
+func TestStab(t *testing.T) {
+	m := New[int]()
+	m.Insert(100, 24, 1)
+	m.Insert(200, 8, 2)
+
+	base, size, v, ok := m.Stab(116)
+	if !ok || base != 100 || size != 24 || v != 1 {
+		t.Errorf("Stab(116) = (%d,%d,%d,%v)", base, size, v, ok)
+	}
+	if _, _, _, ok := m.Stab(124); ok {
+		t.Error("Stab one-past-end should miss")
+	}
+	if _, _, _, ok := m.Stab(50); ok {
+		t.Error("Stab below all ranges should miss")
+	}
+	if _, _, _, ok := m.Stab(150); ok {
+		t.Error("Stab in gap should miss")
+	}
+	if base, _, v, ok := m.Stab(200); !ok || base != 200 || v != 2 {
+		t.Error("Stab at exact base should hit")
+	}
+}
+
+func TestStabEmpty(t *testing.T) {
+	m := New[int]()
+	if _, _, _, ok := m.Stab(0); ok {
+		t.Error("Stab on empty map should miss")
+	}
+}
+
+func TestWalkOrderedAndEarlyStop(t *testing.T) {
+	m := New[int]()
+	rng := rand.New(rand.NewSource(7))
+	want := map[uint64]bool{}
+	for i := 0; i < 500; i++ {
+		k := uint64(rng.Intn(100000)) * 8
+		if !want[k] {
+			m.Insert(k, 8, i)
+			want[k] = true
+		}
+	}
+	var got []uint64
+	m.Walk(func(base, size uint64, _ int) bool {
+		got = append(got, base)
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %d, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(a, b int) bool { return got[a] < got[b] }) {
+		t.Error("walk order not ascending")
+	}
+	n := 0
+	m.Walk(func(uint64, uint64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Errorf("early-stop walk visited %d, want 3", n)
+	}
+}
+
+func checkBST[V any](n *node[V], lo, hi uint64) bool {
+	if n == nil {
+		return true
+	}
+	if n.base < lo || n.base > hi {
+		return false
+	}
+	return checkBST(n.left, lo, n.base-1) && checkBST(n.right, n.base+1, hi)
+}
+
+func checkHeap[V any](n *node[V]) bool {
+	if n == nil {
+		return true
+	}
+	if n.left != nil && n.left.priority > n.priority {
+		return false
+	}
+	if n.right != nil && n.right.priority > n.priority {
+		return false
+	}
+	return checkHeap(n.left) && checkHeap(n.right)
+}
+
+// TestTreapInvariants drives randomized inserts and removals, checking
+// the BST key order and the max-heap priority order after every
+// mutation. Regression: an argument swap in merge once broke the BST
+// invariant only under particular removal sequences.
+func TestTreapInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	m := New[int]()
+	present := map[uint64]bool{}
+	const maxKey = ^uint64(0)
+	for i := 0; i < 3000; i++ {
+		if rng.Intn(2) == 0 || len(present) == 0 {
+			k := uint64(rng.Intn(400)) * 8
+			if present[k] {
+				continue
+			}
+			m.Insert(k, 8, i)
+			present[k] = true
+		} else {
+			keys := make([]uint64, 0, len(present))
+			for k := range present {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			k := keys[rng.Intn(len(keys))]
+			if !m.Remove(k) {
+				t.Fatalf("iter %d: Remove(%d) failed", i, k)
+			}
+			delete(present, k)
+		}
+		if !checkBST(m.root, 0, maxKey) {
+			t.Fatalf("iter %d: BST invariant broken", i)
+		}
+		if !checkHeap(m.root) {
+			t.Fatalf("iter %d: heap invariant broken", i)
+		}
+		if m.Len() != len(present) {
+			t.Fatalf("iter %d: Len %d, want %d", i, m.Len(), len(present))
+		}
+	}
+}
+
+// TestStabMatchesBruteForce cross-checks stabbing queries against a
+// linear scan on randomized disjoint ranges.
+func TestStabMatchesBruteForce(t *testing.T) {
+	f := func(sizes []uint8, probes []uint16) bool {
+		m := New[int]()
+		type rng struct{ base, size uint64 }
+		var ranges []rng
+		next := uint64(0)
+		for i, sz := range sizes {
+			size := uint64(sz%64) + 8
+			gap := uint64(sz % 3 * 8) // leave occasional gaps
+			base := next + gap
+			next = base + size
+			m.Insert(base, size, i)
+			ranges = append(ranges, rng{base, size})
+		}
+		for _, p := range probes {
+			addr := uint64(p) * 4
+			base, _, _, ok := m.Stab(addr)
+			var wantBase uint64
+			var wantOK bool
+			for _, r := range ranges {
+				if addr >= r.base && addr < r.base+r.size {
+					wantBase, wantOK = r.base, true
+					break
+				}
+			}
+			if ok != wantOK || (ok && base != wantBase) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertRemove(b *testing.B) {
+	m := New[int]()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := uint64(i%10000) * 64
+		m.Insert(k, 64, i)
+		m.Remove(k)
+	}
+}
+
+func BenchmarkStab(b *testing.B) {
+	m := New[int]()
+	for i := 0; i < 100000; i++ {
+		m.Insert(uint64(i)*64, 48, i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Stab(uint64(i%100000)*64 + 16)
+	}
+}

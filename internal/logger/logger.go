@@ -1,0 +1,379 @@
+// Package logger implements HeapMD's execution logger (paper Section
+// 2.1, Figure 2): the component that consumes the instrumentation
+// event stream, maintains an image of the heap-graph, and computes the
+// metric suite at metric computation points.
+//
+// Design notes carried over from the paper:
+//
+//   - The logger maintains its own image of heap connectivity rather
+//     than traversing the program's heap, "preserving cache-locality";
+//     here that translates to the logger holding an independent
+//     intervals.Map and per-object edge-slot tables, driven purely by
+//     events.
+//   - Metric computation points are function entries; metrics are
+//     computed once every Frequency entries (paper: frq = 1/100,000).
+//   - The heap-graph is built at object granularity by default. Field
+//     granularity (every word is a vertex, Figure 3) is available for
+//     the layout-sensitivity ablation.
+//   - Edges are created and destroyed only by observed writes, frees
+//     and reallocs: a pointer whose referent is freed silently loses
+//     its edge, and a recycled address does not resurrect old edges.
+package logger
+
+import (
+	"fmt"
+
+	"heapmd/internal/callstack"
+	"heapmd/internal/event"
+	"heapmd/internal/heapgraph"
+	"heapmd/internal/intervals"
+	"heapmd/internal/metrics"
+)
+
+// Granularity selects how heap-graph vertices map onto heap memory
+// (paper Figure 3).
+type Granularity int
+
+const (
+	// ObjectGranularity makes each allocated object one vertex; all
+	// pointers between two objects collapse onto multi-edges between
+	// their vertices. This is the paper's default: it requires no
+	// type information and is insensitive to field layout.
+	ObjectGranularity Granularity = iota
+	// FieldGranularity makes each word of each object a vertex. The
+	// resulting metrics are sensitive to field layout within
+	// objects, which is exactly the pathology the paper's Figure 3
+	// illustrates; provided for the ablation experiment.
+	FieldGranularity
+)
+
+func (g Granularity) String() string {
+	if g == FieldGranularity {
+		return "field"
+	}
+	return "object"
+}
+
+// DefaultFrequency is the paper's sampling frequency: one metric
+// computation per 100,000 function entries.
+const DefaultFrequency = 100000
+
+// Options configures a Logger.
+type Options struct {
+	// Suite is the metric suite to evaluate; zero value means
+	// metrics.DefaultSuite().
+	Suite metrics.Suite
+	// Frequency samples metrics once every Frequency function
+	// entries. Zero means DefaultFrequency.
+	Frequency uint64
+	// Granularity selects object- or field-granularity graphs.
+	Granularity Granularity
+	// Symtab resolves function IDs for reporting; optional.
+	Symtab *event.Symtab
+}
+
+// SampleObserver is notified at every metric computation point with
+// the fresh snapshot and a view of the current call stack. The online
+// anomaly detector and the live plotter attach here.
+type SampleObserver interface {
+	Sample(snap metrics.Snapshot, stack *callstack.Tracker)
+}
+
+// objInfo is the logger's record of one live heap object.
+type objInfo struct {
+	vertex heapgraph.VertexID // object-granularity vertex
+	base   uint64
+	size   uint64
+	// slots maps word addresses within the object that currently
+	// hold a pointer to the *target vertex* recorded when the write
+	// was observed. At field granularity the map key is the same
+	// but the source vertex is the slot's own word vertex.
+	slots map[uint64]heapgraph.VertexID
+	// wordVertices holds per-word vertex IDs at field granularity;
+	// nil at object granularity.
+	wordVertices []heapgraph.VertexID
+}
+
+// Report is the raw metric report of one execution: the sequence of
+// snapshots taken at metric computation points, plus identifying
+// metadata. The metric summarizer (package model) consolidates
+// Reports from training runs into a model.
+type Report struct {
+	Program   string             `json:"program"`
+	Input     string             `json:"input"`
+	Version   int                `json:"version"`
+	Suite     []string           `json:"suite"` // metric names, in order
+	Snapshots []metrics.Snapshot `json:"snapshots"`
+	// FnEntries is the total number of function entries observed.
+	FnEntries uint64 `json:"fn_entries"`
+	// Events is the total number of events consumed.
+	Events uint64 `json:"events"`
+}
+
+// Series extracts the value series of the named metric from the
+// report, or nil if absent.
+func (r *Report) Series(id metrics.ID) []float64 {
+	idx := -1
+	for i, name := range r.Suite {
+		if name == id.String() {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	out := make([]float64, len(r.Snapshots))
+	for i, s := range r.Snapshots {
+		out[i] = s.Values[idx]
+	}
+	return out
+}
+
+// Logger consumes events and produces a Report. It implements
+// event.Sink.
+type Logger struct {
+	opts  Options
+	suite metrics.Suite
+
+	graph   *heapgraph.Graph
+	objects *intervals.Map[*objInfo]
+	stack   *callstack.Tracker
+
+	vertexSeq uint64 // vertex ID generator (generation counter)
+	fnEntries uint64
+	events    uint64
+	tick      uint64 // metric computation points taken so far
+
+	snaps     []metrics.Snapshot
+	observers []SampleObserver
+
+	program string
+	input   string
+	version int
+}
+
+// New creates a Logger.
+func New(opts Options) *Logger {
+	if opts.Frequency == 0 {
+		opts.Frequency = DefaultFrequency
+	}
+	if opts.Suite.Len() == 0 {
+		opts.Suite = metrics.DefaultSuite()
+	}
+	return &Logger{
+		opts:    opts,
+		suite:   opts.Suite,
+		graph:   heapgraph.New(),
+		objects: intervals.New[*objInfo](),
+		stack:   callstack.NewTracker(),
+	}
+}
+
+// SetRun records identifying metadata copied into the Report.
+func (l *Logger) SetRun(program, input string, version int) {
+	l.program, l.input, l.version = program, input, version
+}
+
+// Observe registers a sample observer.
+func (l *Logger) Observe(o SampleObserver) { l.observers = append(l.observers, o) }
+
+// Graph exposes the live heap-graph image (read-only by convention);
+// tests and diagnostic tools use it.
+func (l *Logger) Graph() *heapgraph.Graph { return l.graph }
+
+// Stack exposes the live call-stack tracker.
+func (l *Logger) Stack() *callstack.Tracker { return l.stack }
+
+// Suite returns the metric suite in use.
+func (l *Logger) Suite() metrics.Suite { return l.suite }
+
+// Emit implements event.Sink.
+func (l *Logger) Emit(e event.Event) {
+	l.events++
+	switch e.Type {
+	case event.Alloc:
+		l.onAlloc(e.Addr, e.Size)
+	case event.Free:
+		l.onFree(e.Addr)
+	case event.Realloc:
+		l.onRealloc(e.Addr, e.Value, e.Size)
+	case event.Store:
+		l.onStore(e.Addr, e.Value)
+	case event.Load:
+		// Loads do not change the heap-graph.
+	case event.Enter:
+		l.stack.Enter(e.Fn)
+		l.fnEntries++
+		if l.fnEntries%l.opts.Frequency == 0 {
+			l.sample()
+		}
+	case event.Leave:
+		l.stack.Leave()
+	}
+}
+
+func (l *Logger) newVertex() heapgraph.VertexID {
+	l.vertexSeq++
+	return heapgraph.VertexID(l.vertexSeq)
+}
+
+func (l *Logger) onAlloc(base, size uint64) {
+	info := &objInfo{base: base, size: size, slots: make(map[uint64]heapgraph.VertexID)}
+	if l.opts.Granularity == FieldGranularity {
+		nWords := size / 8
+		info.wordVertices = make([]heapgraph.VertexID, nWords)
+		for i := range info.wordVertices {
+			v := l.newVertex()
+			info.wordVertices[i] = v
+			l.graph.AddVertex(v)
+		}
+	} else {
+		info.vertex = l.newVertex()
+		l.graph.AddVertex(info.vertex)
+	}
+	l.objects.Insert(base, size, info)
+}
+
+func (l *Logger) onFree(base uint64) {
+	info, ok := l.objects.Get(base)
+	if !ok {
+		return // double free or wild free: nothing in the image
+	}
+	l.objects.Remove(base)
+	if info.wordVertices != nil {
+		for _, v := range info.wordVertices {
+			l.graph.RemoveVertex(v)
+		}
+	} else {
+		l.graph.RemoveVertex(info.vertex)
+	}
+}
+
+func (l *Logger) onRealloc(oldBase, newBase, newSize uint64) {
+	info, ok := l.objects.Get(oldBase)
+	if !ok {
+		return
+	}
+	l.objects.Remove(oldBase)
+	if info.wordVertices != nil {
+		l.reallocField(info, oldBase, newBase, newSize)
+		return
+	}
+	// Object granularity: the vertex survives the move; slots beyond
+	// the new size lose their outgoing edges, and slot keys are
+	// rebased.
+	newSlots := make(map[uint64]heapgraph.VertexID, len(info.slots))
+	for addr, target := range info.slots {
+		off := addr - oldBase
+		if off >= newSize {
+			l.graph.RemoveEdge(info.vertex, target)
+			continue
+		}
+		newSlots[newBase+off] = target
+	}
+	info.base, info.size, info.slots = newBase, newSize, newSlots
+	l.objects.Insert(newBase, newSize, info)
+}
+
+func (l *Logger) reallocField(info *objInfo, oldBase, newBase, newSize uint64) {
+	oldWords := uint64(len(info.wordVertices))
+	newWords := newSize / 8
+	// Shrink: drop vertices past the end (their edges die with them).
+	for i := newWords; i < oldWords; i++ {
+		l.graph.RemoveVertex(info.wordVertices[i])
+	}
+	wv := make([]heapgraph.VertexID, newWords)
+	copy(wv, info.wordVertices[:min(oldWords, newWords)])
+	// Grow: fresh vertices for the new words.
+	for i := oldWords; i < newWords; i++ {
+		v := l.newVertex()
+		wv[i] = v
+		l.graph.AddVertex(v)
+	}
+	newSlots := make(map[uint64]heapgraph.VertexID, len(info.slots))
+	for addr, target := range info.slots {
+		off := addr - oldBase
+		if off >= newSize {
+			continue // source vertex already removed above
+		}
+		newSlots[newBase+off] = target
+	}
+	info.base, info.size, info.slots, info.wordVertices = newBase, newSize, newSlots, wv
+	l.objects.Insert(newBase, newSize, info)
+}
+
+// sourceVertex returns the vertex that an edge stored at addr inside
+// info originates from.
+func (l *Logger) sourceVertex(info *objInfo, addr uint64) heapgraph.VertexID {
+	if info.wordVertices != nil {
+		return info.wordVertices[(addr-info.base)/8]
+	}
+	return info.vertex
+}
+
+// targetVertex resolves a stored word to a vertex if it points into a
+// live object.
+func (l *Logger) targetVertex(value uint64) (heapgraph.VertexID, bool) {
+	base, _, info, ok := l.objects.Stab(value)
+	if !ok {
+		return 0, false
+	}
+	if info.wordVertices != nil {
+		return info.wordVertices[(value-base)/8], true
+	}
+	return info.vertex, true
+}
+
+func (l *Logger) onStore(addr, value uint64) {
+	_, _, info, ok := l.objects.Stab(addr)
+	if !ok {
+		return // wild store: not part of the live heap image
+	}
+	src := l.sourceVertex(info, addr)
+	// Retire the slot's previous edge, if any.
+	if oldTarget, had := info.slots[addr]; had {
+		l.graph.RemoveEdge(src, oldTarget)
+		delete(info.slots, addr)
+	}
+	// Install the new edge if the value points into a live object.
+	if target, isPtr := l.targetVertex(value); isPtr {
+		l.graph.AddEdge(src, target)
+		info.slots[addr] = target
+	}
+}
+
+func (l *Logger) sample() {
+	l.tick++
+	snap := l.suite.Compute(l.graph, l.tick)
+	l.snaps = append(l.snaps, snap)
+	for _, o := range l.observers {
+		o.Sample(snap, l.stack)
+	}
+}
+
+// Ticks returns the number of metric computation points sampled.
+func (l *Logger) Ticks() uint64 { return l.tick }
+
+// Report finalizes and returns the metric report for the run.
+func (l *Logger) Report() *Report {
+	names := make([]string, l.suite.Len())
+	for i, id := range l.suite.IDs() {
+		names[i] = id.String()
+	}
+	return &Report{
+		Program:   l.program,
+		Input:     l.input,
+		Version:   l.version,
+		Suite:     names,
+		Snapshots: l.snaps,
+		FnEntries: l.fnEntries,
+		Events:    l.events,
+	}
+}
+
+// String summarizes logger state.
+func (l *Logger) String() string {
+	return fmt.Sprintf("logger{gran=%s frq=%d ticks=%d %s}",
+		l.opts.Granularity, l.opts.Frequency, l.tick, l.graph)
+}

@@ -1,0 +1,351 @@
+package machine
+
+// The assembler: a small text format so test programs and demos can
+// be written as "binaries" rather than Go code. Syntax:
+//
+//	; line comment
+//	fn main
+//	  loadi r1, 16
+//	  call build
+//	  halt
+//	fn build
+//	loop:
+//	  alloc r2, r1       ; r2 = alloc(r1 bytes)
+//	  store r2, 0, r3    ; mem[r2+0] = r3
+//	  load  r4, r2, 1    ; r4 = mem[r2+1 word]
+//	  rnd   r5, r1
+//	  cmplt r6, r5, r1
+//	  jnz   r6, loop
+//	  ret
+//
+// Operands: rN registers, decimal/hex immediates, label or function
+// names. Jump targets are labels within the same function; call
+// targets are function names. ENTER/LEAVE cannot be written in
+// source — the instrumenter owns them, as Vulcan owns the probes it
+// injects into x86 binaries.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"heapmd/internal/event"
+)
+
+// Assemble parses assembly text into a Program.
+func Assemble(src string) (*Program, error) {
+	type pendingJump struct {
+		fnIdx int
+		inIdx int
+		label string
+		// fieldB selects Instr.B (conditional jumps) instead of
+		// Instr.A as the target field. Targets are resolved by
+		// index because the code slice reallocates as it grows.
+		fieldB bool
+	}
+	type pendingCall struct {
+		fnIdx int
+		inIdx int
+		name  string
+	}
+	prog := &Program{}
+	var jumps []pendingJump
+	var calls []pendingCall
+	labels := map[string]int{} // per current function
+
+	cur := -1
+	flushLabels := func() error {
+		if len(labels) > 0 {
+			labels = map[string]int{}
+		}
+		return nil
+	}
+	lines := strings.Split(src, "\n")
+	// First pass: build functions, record label positions and
+	// pending jump/call targets.
+	resolveLabel := func(fnIdx int, lbls map[string]int, j pendingJump) error {
+		t, ok := lbls[j.label]
+		if !ok {
+			return fmt.Errorf("machine: undefined label %q in %s", j.label, prog.Fns[fnIdx].Name)
+		}
+		if j.fieldB {
+			prog.Fns[fnIdx].Code[j.inIdx].B = t
+		} else {
+			prog.Fns[fnIdx].Code[j.inIdx].A = t
+		}
+		return nil
+	}
+	var fnJumps []pendingJump
+	endFn := func() error {
+		for _, j := range fnJumps {
+			if err := resolveLabel(j.fnIdx, labels, j); err != nil {
+				return err
+			}
+		}
+		fnJumps = nil
+		return flushLabels()
+	}
+
+	for lineNo, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		errf := func(format string, args ...any) error {
+			return fmt.Errorf("machine: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+
+		if name, ok := strings.CutPrefix(line, "fn "); ok {
+			if cur >= 0 {
+				if err := endFn(); err != nil {
+					return nil, err
+				}
+			}
+			name = strings.TrimSpace(name)
+			if name == "" {
+				return nil, errf("missing function name")
+			}
+			if prog.FnIndex(name) >= 0 {
+				return nil, errf("duplicate function %q", name)
+			}
+			prog.Fns = append(prog.Fns, Fn{Name: name})
+			cur = len(prog.Fns) - 1
+			continue
+		}
+		if cur < 0 {
+			return nil, errf("instruction outside a function")
+		}
+		if lbl, ok := strings.CutSuffix(line, ":"); ok {
+			lbl = strings.TrimSpace(lbl)
+			if _, dup := labels[lbl]; dup {
+				return nil, errf("duplicate label %q", lbl)
+			}
+			labels[lbl] = len(prog.Fns[cur].Code)
+			continue
+		}
+
+		fields := strings.Fields(strings.ReplaceAll(line, ",", " "))
+		mn := fields[0]
+		args := fields[1:]
+		reg := func(i int) (int, error) {
+			if i >= len(args) {
+				return 0, errf("%s: missing operand %d", mn, i+1)
+			}
+			a := args[i]
+			if len(a) < 2 || a[0] != 'r' {
+				return 0, errf("%s: operand %d (%q) is not a register", mn, i+1, a)
+			}
+			n, err := strconv.Atoi(a[1:])
+			if err != nil || n < 0 || n >= NumRegs {
+				return 0, errf("%s: bad register %q", mn, a)
+			}
+			return n, nil
+		}
+		imm := func(i int) (uint64, error) {
+			if i >= len(args) {
+				return 0, errf("%s: missing operand %d", mn, i+1)
+			}
+			n, err := strconv.ParseUint(args[i], 0, 64)
+			if err != nil {
+				return 0, errf("%s: bad immediate %q", mn, args[i])
+			}
+			return n, nil
+		}
+		smallImm := func(i int) (int, error) {
+			n, err := imm(i)
+			return int(n), err
+		}
+		emit := func(in Instr) { prog.Fns[cur].Code = append(prog.Fns[cur].Code, in) }
+
+		var err error
+		var in Instr
+		switch mn {
+		case "nop":
+			in = Instr{Op: NOP}
+		case "halt":
+			in = Instr{Op: HALT}
+		case "ret":
+			in = Instr{Op: RET}
+		case "loadi":
+			in.Op = LOADI
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.Imm, err = imm(1); err != nil {
+				return nil, err
+			}
+		case "mov":
+			in.Op = MOV
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.B, err = reg(1); err != nil {
+				return nil, err
+			}
+		case "add", "sub", "mul", "div", "mod", "cmplt", "cmpeq":
+			in.Op = map[string]Op{"add": ADD, "sub": SUB, "mul": MUL, "div": DIV,
+				"mod": MOD, "cmplt": CMPLT, "cmpeq": CMPEQ}[mn]
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.B, err = reg(1); err != nil {
+				return nil, err
+			}
+			if in.C, err = reg(2); err != nil {
+				return nil, err
+			}
+		case "rnd":
+			in.Op = RND
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.B, err = reg(1); err != nil {
+				return nil, err
+			}
+		case "alloc":
+			in.Op = ALLOC
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.B, err = reg(1); err != nil {
+				return nil, err
+			}
+		case "free":
+			in.Op = FREE
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+		case "load":
+			in.Op = LOAD
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.B, err = reg(1); err != nil {
+				return nil, err
+			}
+			if in.C, err = smallImm(2); err != nil {
+				return nil, err
+			}
+		case "store":
+			in.Op = STORE
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+			if in.B, err = smallImm(1); err != nil {
+				return nil, err
+			}
+			if in.C, err = reg(2); err != nil {
+				return nil, err
+			}
+		case "jmp":
+			if len(args) != 1 {
+				return nil, errf("jmp takes one label")
+			}
+			in.Op = JMP
+			emit(in)
+			fnJumps = append(fnJumps, pendingJump{cur, len(prog.Fns[cur].Code) - 1, args[0], false})
+			continue
+		case "jnz", "jz":
+			in.Op = JNZ
+			if mn == "jz" {
+				in.Op = JZ
+			}
+			if in.A, err = reg(0); err != nil {
+				return nil, err
+			}
+			if len(args) != 2 {
+				return nil, errf("%s takes a register and a label", mn)
+			}
+			emit(in)
+			fnJumps = append(fnJumps, pendingJump{cur, len(prog.Fns[cur].Code) - 1, args[1], true})
+			continue
+		case "call":
+			if len(args) != 1 {
+				return nil, errf("call takes a function name")
+			}
+			in.Op = CALL
+			emit(in)
+			calls = append(calls, pendingCall{cur, len(prog.Fns[cur].Code) - 1, args[0]})
+			continue
+		case "enter", "leave":
+			return nil, errf("%s is an instrumentation hook; the instrumenter inserts it", mn)
+		default:
+			return nil, errf("unknown mnemonic %q", mn)
+		}
+		emit(in)
+		_ = jumps
+	}
+	if cur >= 0 {
+		if err := endFn(); err != nil {
+			return nil, err
+		}
+	}
+	if len(prog.Fns) == 0 {
+		return nil, ErrNoProgram
+	}
+	// Resolve calls across functions.
+	for _, c := range calls {
+		idx := prog.FnIndex(c.name)
+		if idx < 0 {
+			return nil, fmt.Errorf("machine: call to undefined function %q", c.name)
+		}
+		prog.Fns[c.fnIdx].Code[c.inIdx].A = idx
+	}
+	return prog, nil
+}
+
+// Disassemble renders a program back to readable assembly, including
+// the ENTER/LEAVE hooks an instrumenter may have inserted (labelled
+// with their resolved names when a symbol table is supplied). Jump
+// targets print as absolute instruction indices.
+func Disassemble(p *Program, sym *event.Symtab) string {
+	var b strings.Builder
+	for _, fn := range p.Fns {
+		fmt.Fprintf(&b, "fn %s\n", fn.Name)
+		for i, in := range fn.Code {
+			fmt.Fprintf(&b, "%4d  ", i)
+			switch in.Op {
+			case LOADI:
+				fmt.Fprintf(&b, "loadi r%d, %d", in.A, in.Imm)
+			case MOV:
+				fmt.Fprintf(&b, "mov r%d, r%d", in.A, in.B)
+			case ADD, SUB, MUL, DIV, MOD, CMPLT, CMPEQ:
+				fmt.Fprintf(&b, "%s r%d, r%d, r%d", in.Op, in.A, in.B, in.C)
+			case RND:
+				fmt.Fprintf(&b, "rnd r%d, r%d", in.A, in.B)
+			case JMP:
+				fmt.Fprintf(&b, "jmp -> %d", in.A)
+			case JNZ, JZ:
+				fmt.Fprintf(&b, "%s r%d -> %d", in.Op, in.A, in.B)
+			case CALL:
+				name := "?"
+				if in.A >= 0 && in.A < len(p.Fns) {
+					name = p.Fns[in.A].Name
+				}
+				fmt.Fprintf(&b, "call %s", name)
+			case ALLOC:
+				fmt.Fprintf(&b, "alloc r%d, r%d", in.A, in.B)
+			case FREE:
+				fmt.Fprintf(&b, "free r%d", in.A)
+			case LOAD:
+				fmt.Fprintf(&b, "load r%d, r%d, %d", in.A, in.B, in.C)
+			case STORE:
+				fmt.Fprintf(&b, "store r%d, %d, r%d", in.A, in.B, in.C)
+			case ENTER:
+				name := fmt.Sprintf("#%d", in.Imm)
+				if sym != nil {
+					name = sym.Name(event.FnID(in.Imm))
+				}
+				fmt.Fprintf(&b, "enter %s", name)
+			default:
+				b.WriteString(in.Op.String())
+			}
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}

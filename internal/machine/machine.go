@@ -1,0 +1,410 @@
+// Package machine implements a small register virtual machine whose
+// programs allocate and manipulate objects on the simulated heap.
+//
+// It exists to reproduce the paper's deployment model faithfully:
+// HeapMD works on x86 *binaries*, with a binary transformation tool
+// (Vulcan) inserting the instrumentation that exposes allocator
+// activity and function boundaries. Here, machine code is the binary:
+// an uninstrumented program runs silently (its heap activity happens,
+// but nothing reports function entries or allocation sites), and
+// package instrument rewrites the code — without source knowledge —
+// to insert the ENTER/LEAVE hooks HeapMD samples at.
+//
+// The ISA is deliberately minimal: 16 word registers, arithmetic,
+// compare-and-branch, call/ret, and the four heap instructions
+// (ALLOC, FREE, LOAD, STORE) whose traffic builds the heap-graph.
+package machine
+
+import (
+	"errors"
+	"fmt"
+
+	"heapmd/internal/event"
+	"heapmd/internal/heap"
+)
+
+// Op is an instruction opcode.
+type Op uint8
+
+// The instruction set.
+const (
+	// NOP does nothing.
+	NOP Op = iota
+	// LOADI rd, imm: rd = imm.
+	LOADI
+	// MOV rd, ra: rd = ra.
+	MOV
+	// ADD rd, ra, rb: rd = ra + rb. SUB/MUL/DIV/MOD likewise; DIV
+	// and MOD by zero fault the program.
+	ADD
+	SUB
+	MUL
+	DIV
+	MOD
+	// CMPLT rd, ra, rb: rd = 1 if ra < rb else 0. CMPEQ likewise
+	// for equality.
+	CMPLT
+	CMPEQ
+	// JMP target: jump to instruction index within the function.
+	JMP
+	// JNZ ra, target: jump if ra != 0. JZ jumps if ra == 0.
+	JNZ
+	JZ
+	// CALL fn: push the return site and enter function index fn.
+	// Arguments and results pass through registers by convention.
+	CALL
+	// RET returns to the caller (or halts when the entry frame
+	// returns).
+	RET
+	// ALLOC rd, ra: allocate ra bytes, rd = base address.
+	ALLOC
+	// FREE ra: free the object based at ra.
+	FREE
+	// LOAD rd, ra, off: rd = mem[ra + off] (off in words).
+	LOAD
+	// STORE ra, off, rb: mem[ra + off] = rb.
+	STORE
+	// RND rd, ra: rd = deterministic pseudo-random value in [0, ra).
+	RND
+	// HALT stops the program.
+	HALT
+
+	// ENTER and LEAVE are instrumentation hooks: they do not occur
+	// in source programs, the instrumenter inserts them. ENTER's A
+	// field carries the interned function name.
+	ENTER
+	LEAVE
+)
+
+var opNames = map[Op]string{
+	NOP: "nop", LOADI: "loadi", MOV: "mov", ADD: "add", SUB: "sub",
+	MUL: "mul", DIV: "div", MOD: "mod", CMPLT: "cmplt", CMPEQ: "cmpeq",
+	JMP: "jmp", JNZ: "jnz", JZ: "jz", CALL: "call", RET: "ret",
+	ALLOC: "alloc", FREE: "free", LOAD: "load", STORE: "store",
+	RND: "rnd", HALT: "halt", ENTER: "enter", LEAVE: "leave",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumRegs is the register file size.
+const NumRegs = 16
+
+// Instr is one instruction. A, B, C are register indices or, for
+// control flow, targets; Imm carries immediates (LOADI) and interned
+// names (ENTER).
+type Instr struct {
+	Op  Op
+	A   int
+	B   int
+	C   int
+	Imm uint64
+}
+
+// Fn is one function's code.
+type Fn struct {
+	Name string
+	Code []Instr
+}
+
+// Program is a compiled program: function 0 is the entry point.
+type Program struct {
+	Fns []Fn
+}
+
+// FnIndex returns the index of the named function, or -1.
+func (p *Program) FnIndex(name string) int {
+	for i, f := range p.Fns {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Execution errors.
+var (
+	ErrNoProgram     = errors.New("machine: empty program")
+	ErrBadRegister   = errors.New("machine: register index out of range")
+	ErrBadFunction   = errors.New("machine: call to unknown function")
+	ErrBadJump       = errors.New("machine: jump target out of range")
+	ErrDivideByZero  = errors.New("machine: divide by zero")
+	ErrStepBudget    = errors.New("machine: step budget exhausted")
+	ErrStackOverflow = errors.New("machine: call stack overflow")
+	ErrBadOpcode     = errors.New("machine: undefined opcode")
+)
+
+// VM executes a Program against a simulated heap.
+type VM struct {
+	prog  *Program
+	heap  *heap.Sim
+	sinks event.Multi
+	sym   *event.Symtab
+
+	regs  [NumRegs]uint64
+	rng   uint64
+	steps uint64
+	limit uint64
+
+	stack []frame
+}
+
+type frame struct {
+	fn int
+	pc int
+}
+
+// Option configures a VM.
+type Option func(*VM)
+
+// WithStepBudget bounds execution to n instructions (default 10M);
+// runaway loops fail with ErrStepBudget instead of hanging.
+func WithStepBudget(n uint64) Option {
+	return func(v *VM) { v.limit = n }
+}
+
+// WithSeed sets the RND instruction's deterministic stream.
+func WithSeed(seed uint64) Option {
+	return func(v *VM) { v.rng = seed | 1 }
+}
+
+// WithReg presets a register before execution — the VM's argv: how a
+// harness passes input parameters (sizes, mode flags) to a binary.
+func WithReg(i int, v uint64) Option {
+	return func(vm *VM) {
+		if i >= 0 && i < NumRegs {
+			vm.regs[i] = v
+		}
+	}
+}
+
+// WithSink subscribes a sink to the VM's instrumentation events
+// (ENTER/LEAVE hooks) and the heap's memory events.
+func WithSink(s event.Sink) Option {
+	return func(v *VM) {
+		v.sinks = append(v.sinks, s)
+		v.heap.Subscribe(s)
+	}
+}
+
+// New creates a VM for the program with a fresh heap. The symbol
+// table resolves the interned names carried by ENTER hooks (the
+// instrumenter produces both).
+func New(prog *Program, sym *event.Symtab, opts ...Option) *VM {
+	v := &VM{
+		prog:  prog,
+		heap:  heap.New(),
+		sym:   sym,
+		rng:   0x2545F4914F6CDD1D,
+		limit: 10_000_000,
+	}
+	for _, o := range opts {
+		o(v)
+	}
+	return v
+}
+
+// Heap exposes the VM's heap for post-run inspection.
+func (v *VM) Heap() *heap.Sim { return v.heap }
+
+// Reg returns register i's value after execution.
+func (v *VM) Reg(i int) uint64 {
+	if i < 0 || i >= NumRegs {
+		return 0
+	}
+	return v.regs[i]
+}
+
+// Steps returns the number of instructions executed.
+func (v *VM) Steps() uint64 { return v.steps }
+
+func (v *VM) next() uint64 {
+	x := v.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	v.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Run executes the program from function 0 until HALT, final RET, or
+// an execution error. Heap misuse (double free, wild free) surfaces
+// as an error, as a crash would in a real process.
+func (v *VM) Run() error {
+	if v.prog == nil || len(v.prog.Fns) == 0 {
+		return ErrNoProgram
+	}
+	fn, pc := 0, 0
+	for {
+		if v.steps >= v.limit {
+			return ErrStepBudget
+		}
+		v.steps++
+		code := v.prog.Fns[fn].Code
+		if pc >= len(code) {
+			// Falling off the end behaves like RET.
+			var ok bool
+			fn, pc, ok = v.ret()
+			if !ok {
+				return nil
+			}
+			continue
+		}
+		in := code[pc]
+		pc++
+		switch in.Op {
+		case NOP:
+		case LOADI:
+			if err := v.checkReg(in.A); err != nil {
+				return err
+			}
+			v.regs[in.A] = in.Imm
+		case MOV:
+			if err := v.checkReg(in.A, in.B); err != nil {
+				return err
+			}
+			v.regs[in.A] = v.regs[in.B]
+		case ADD, SUB, MUL, DIV, MOD, CMPLT, CMPEQ:
+			if err := v.checkReg(in.A, in.B, in.C); err != nil {
+				return err
+			}
+			a, b := v.regs[in.B], v.regs[in.C]
+			var r uint64
+			switch in.Op {
+			case ADD:
+				r = a + b
+			case SUB:
+				r = a - b
+			case MUL:
+				r = a * b
+			case DIV:
+				if b == 0 {
+					return fmt.Errorf("%w in %s at %d", ErrDivideByZero, v.prog.Fns[fn].Name, pc-1)
+				}
+				r = a / b
+			case MOD:
+				if b == 0 {
+					return fmt.Errorf("%w in %s at %d", ErrDivideByZero, v.prog.Fns[fn].Name, pc-1)
+				}
+				r = a % b
+			case CMPLT:
+				if a < b {
+					r = 1
+				}
+			case CMPEQ:
+				if a == b {
+					r = 1
+				}
+			}
+			v.regs[in.A] = r
+		case JMP:
+			if in.A < 0 || in.A > len(code) {
+				return ErrBadJump
+			}
+			pc = in.A
+		case JNZ, JZ:
+			if err := v.checkReg(in.A); err != nil {
+				return err
+			}
+			taken := (v.regs[in.A] != 0) == (in.Op == JNZ)
+			if taken {
+				if in.B < 0 || in.B > len(code) {
+					return ErrBadJump
+				}
+				pc = in.B
+			}
+		case CALL:
+			if in.A < 0 || in.A >= len(v.prog.Fns) {
+				return fmt.Errorf("%w: index %d", ErrBadFunction, in.A)
+			}
+			if len(v.stack) >= 1<<16 {
+				return ErrStackOverflow
+			}
+			v.stack = append(v.stack, frame{fn: fn, pc: pc})
+			fn, pc = in.A, 0
+		case RET:
+			var ok bool
+			fn, pc, ok = v.ret()
+			if !ok {
+				return nil
+			}
+		case ALLOC:
+			if err := v.checkReg(in.A, in.B); err != nil {
+				return err
+			}
+			addr, err := v.heap.Alloc(v.regs[in.B])
+			if err != nil {
+				return fmt.Errorf("in %s at %d: %w", v.prog.Fns[fn].Name, pc-1, err)
+			}
+			v.regs[in.A] = addr
+		case FREE:
+			if err := v.checkReg(in.A); err != nil {
+				return err
+			}
+			if err := v.heap.Free(v.regs[in.A]); err != nil {
+				return fmt.Errorf("in %s at %d: %w", v.prog.Fns[fn].Name, pc-1, err)
+			}
+		case LOAD:
+			if err := v.checkReg(in.A, in.B); err != nil {
+				return err
+			}
+			val, err := v.heap.Load(v.regs[in.B] + uint64(in.C)*heap.WordSize)
+			if err != nil {
+				return fmt.Errorf("in %s at %d: %w", v.prog.Fns[fn].Name, pc-1, err)
+			}
+			v.regs[in.A] = val
+		case STORE:
+			if err := v.checkReg(in.A, in.C); err != nil {
+				return err
+			}
+			if err := v.heap.Store(v.regs[in.A]+uint64(in.B)*heap.WordSize, v.regs[in.C]); err != nil {
+				return fmt.Errorf("in %s at %d: %w", v.prog.Fns[fn].Name, pc-1, err)
+			}
+		case RND:
+			if err := v.checkReg(in.A, in.B); err != nil {
+				return err
+			}
+			if m := v.regs[in.B]; m == 0 {
+				v.regs[in.A] = 0
+			} else {
+				v.regs[in.A] = v.next() % m
+			}
+		case HALT:
+			return nil
+		case ENTER:
+			if len(v.sinks) > 0 {
+				v.sinks.Emit(event.Event{Type: event.Enter, Fn: event.FnID(in.Imm)})
+			}
+			v.heap.SetSite(event.FnID(in.Imm))
+		case LEAVE:
+			if len(v.sinks) > 0 {
+				v.sinks.Emit(event.Event{Type: event.Leave})
+			}
+		default:
+			return fmt.Errorf("%w: %d", ErrBadOpcode, in.Op)
+		}
+	}
+}
+
+// ret pops a frame; ok is false when the entry frame returns.
+func (v *VM) ret() (fn, pc int, ok bool) {
+	if len(v.stack) == 0 {
+		return 0, 0, false
+	}
+	top := v.stack[len(v.stack)-1]
+	v.stack = v.stack[:len(v.stack)-1]
+	return top.fn, top.pc, true
+}
+
+func (v *VM) checkReg(rs ...int) error {
+	for _, r := range rs {
+		if r < 0 || r >= NumRegs {
+			return fmt.Errorf("%w: r%d", ErrBadRegister, r)
+		}
+	}
+	return nil
+}

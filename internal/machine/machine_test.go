@@ -1,0 +1,377 @@
+package machine
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"heapmd/internal/event"
+)
+
+func mustAssemble(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func run(t *testing.T, src string, opts ...Option) *VM {
+	t.Helper()
+	p := mustAssemble(t, src)
+	vm := New(p, event.NewSymtab(), opts...)
+	if err := vm.Run(); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return vm
+}
+
+func TestArithmetic(t *testing.T) {
+	vm := run(t, `
+fn main
+  loadi r1, 6
+  loadi r2, 7
+  mul r3, r1, r2
+  loadi r4, 4
+  div r5, r3, r4   ; 42/4 = 10
+  mod r6, r3, r4   ; 42%4 = 2
+  sub r7, r1, r2   ; wraps
+  halt
+`)
+	if vm.Reg(3) != 42 || vm.Reg(5) != 10 || vm.Reg(6) != 2 {
+		t.Errorf("regs: r3=%d r5=%d r6=%d", vm.Reg(3), vm.Reg(5), vm.Reg(6))
+	}
+	if vm.Reg(7) != ^uint64(0) {
+		t.Errorf("sub underflow should wrap: %d", vm.Reg(7))
+	}
+}
+
+func TestCompareAndBranch(t *testing.T) {
+	// Sum 1..10 with a loop.
+	vm := run(t, `
+fn main
+  loadi r1, 0    ; sum
+  loadi r2, 1    ; i
+  loadi r3, 11   ; bound
+loop:
+  add r1, r1, r2
+  loadi r4, 1
+  add r2, r2, r4
+  cmplt r5, r2, r3
+  jnz r5, loop
+  halt
+`)
+	if vm.Reg(1) != 55 {
+		t.Errorf("sum = %d, want 55", vm.Reg(1))
+	}
+}
+
+func TestCallRet(t *testing.T) {
+	vm := run(t, `
+fn main
+  loadi r1, 5
+  call double
+  call double
+  halt
+fn double
+  add r1, r1, r1
+  ret
+`)
+	if vm.Reg(1) != 20 {
+		t.Errorf("r1 = %d, want 20", vm.Reg(1))
+	}
+}
+
+func TestHeapOps(t *testing.T) {
+	vm := run(t, `
+fn main
+  loadi r1, 24
+  alloc r2, r1       ; 3-word object
+  loadi r3, 99
+  store r2, 1, r3
+  load r4, r2, 1
+  free r2
+  halt
+`)
+	if vm.Reg(4) != 99 {
+		t.Errorf("load = %d, want 99", vm.Reg(4))
+	}
+	if vm.Heap().Live() != 0 {
+		t.Errorf("leaked %d objects", vm.Heap().Live())
+	}
+}
+
+func TestDoubleFreeSurfacesAsError(t *testing.T) {
+	p := mustAssemble(t, `
+fn main
+  loadi r1, 8
+  alloc r2, r1
+  free r2
+  free r2
+  halt
+`)
+	vm := New(p, event.NewSymtab())
+	err := vm.Run()
+	if err == nil || !strings.Contains(err.Error(), "double free") {
+		t.Fatalf("err = %v, want double free", err)
+	}
+}
+
+func TestDivByZero(t *testing.T) {
+	p := mustAssemble(t, `
+fn main
+  loadi r1, 1
+  loadi r2, 0
+  div r3, r1, r2
+`)
+	if err := New(p, event.NewSymtab()).Run(); !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	p := mustAssemble(t, `
+fn main
+loop:
+  jmp loop
+`)
+	err := New(p, event.NewSymtab(), WithStepBudget(1000)).Run()
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("err = %v, want step budget", err)
+	}
+}
+
+func TestRndDeterministic(t *testing.T) {
+	src := `
+fn main
+  loadi r1, 1000
+  rnd r2, r1
+  rnd r3, r1
+  halt
+`
+	a := run(t, src, WithSeed(7))
+	b := run(t, src, WithSeed(7))
+	c := run(t, src, WithSeed(8))
+	if a.Reg(2) != b.Reg(2) || a.Reg(3) != b.Reg(3) {
+		t.Error("same seed diverged")
+	}
+	if a.Reg(2) == c.Reg(2) && a.Reg(3) == c.Reg(3) {
+		t.Error("different seeds produced identical stream")
+	}
+	if a.Reg(2) >= 1000 {
+		t.Errorf("rnd out of range: %d", a.Reg(2))
+	}
+}
+
+func TestFallThroughEndActsAsRet(t *testing.T) {
+	vm := run(t, `
+fn main
+  loadi r1, 1
+  call f
+  halt
+fn f
+  loadi r1, 2
+`)
+	if vm.Reg(1) != 2 {
+		t.Errorf("r1 = %d", vm.Reg(1))
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := map[string]string{
+		"no function":     "loadi r1, 1",
+		"bad register":    "fn main\n loadi r99, 1",
+		"bad mnemonic":    "fn main\n frobnicate r1",
+		"undefined label": "fn main\n jmp nowhere",
+		"undefined fn":    "fn main\n call missing",
+		"duplicate fn":    "fn main\n ret\nfn main\n ret",
+		"duplicate label": "fn main\nx:\nx:\n ret",
+		"hook in source":  "fn main\n enter",
+		"missing operand": "fn main\n add r1, r2",
+		"empty program":   "; nothing",
+		"bad immediate":   "fn main\n loadi r1, banana",
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Assemble(src); err == nil {
+				t.Errorf("assembled invalid program %q", src)
+			}
+		})
+	}
+}
+
+func TestAssembleHexAndComments(t *testing.T) {
+	vm := run(t, `
+; leading comment
+fn main
+  loadi r1, 0x10   ; hex immediate
+  halt
+`)
+	if vm.Reg(1) != 16 {
+		t.Errorf("r1 = %d", vm.Reg(1))
+	}
+}
+
+func TestEventsWithSink(t *testing.T) {
+	p := mustAssemble(t, `
+fn main
+  loadi r1, 16
+  alloc r2, r1
+  loadi r3, 5
+  store r2, 0, r3
+  free r2
+  halt
+`)
+	var c event.Counter
+	vm := New(p, event.NewSymtab(), WithSink(&c))
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count(event.Alloc) != 1 || c.Count(event.Store) != 1 || c.Count(event.Free) != 1 {
+		t.Errorf("event counts: %+v", c.ByType)
+	}
+	// Source programs carry no hooks: no Enter/Leave events.
+	if c.Count(event.Enter) != 0 || c.Count(event.Leave) != 0 {
+		t.Error("uninstrumented program emitted call hooks")
+	}
+}
+
+func TestBadFunctionIndex(t *testing.T) {
+	p := &Program{Fns: []Fn{{Name: "main", Code: []Instr{{Op: CALL, A: 9}}}}}
+	if err := New(p, event.NewSymtab()).Run(); !errors.Is(err, ErrBadFunction) {
+		t.Fatalf("err = %v, want ErrBadFunction", err)
+	}
+}
+
+func TestBadJumpTarget(t *testing.T) {
+	p := &Program{Fns: []Fn{{Name: "main", Code: []Instr{{Op: JMP, A: -1}}}}}
+	if err := New(p, event.NewSymtab()).Run(); !errors.Is(err, ErrBadJump) {
+		t.Fatalf("err = %v, want ErrBadJump", err)
+	}
+	p = &Program{Fns: []Fn{{Name: "main", Code: []Instr{{Op: JNZ, A: 0, B: 99}, {Op: LOADI, A: 0, Imm: 1}}}}}
+	// r0 is zero so JNZ not taken; loop back via raw program to hit
+	// the taken path with a bad target:
+	p.Fns[0].Code = []Instr{{Op: LOADI, A: 0, Imm: 1}, {Op: JNZ, A: 0, B: 99}}
+	if err := New(p, event.NewSymtab()).Run(); !errors.Is(err, ErrBadJump) {
+		t.Fatalf("taken-branch err = %v, want ErrBadJump", err)
+	}
+}
+
+func TestBadOpcode(t *testing.T) {
+	p := &Program{Fns: []Fn{{Name: "main", Code: []Instr{{Op: Op(200)}}}}}
+	if err := New(p, event.NewSymtab()).Run(); !errors.Is(err, ErrBadOpcode) {
+		t.Fatalf("err = %v, want ErrBadOpcode", err)
+	}
+}
+
+func TestBadRegisterInRawProgram(t *testing.T) {
+	p := &Program{Fns: []Fn{{Name: "main", Code: []Instr{{Op: MOV, A: 99, B: 0}}}}}
+	if err := New(p, event.NewSymtab()).Run(); !errors.Is(err, ErrBadRegister) {
+		t.Fatalf("err = %v, want ErrBadRegister", err)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	if err := New(&Program{}, event.NewSymtab()).Run(); !errors.Is(err, ErrNoProgram) {
+		t.Fatalf("err = %v, want ErrNoProgram", err)
+	}
+}
+
+func TestWithRegBounds(t *testing.T) {
+	p := mustAssemble(t, "fn main\n halt")
+	vm := New(p, event.NewSymtab(), WithReg(3, 7), WithReg(-1, 9), WithReg(99, 9))
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.Reg(3) != 7 {
+		t.Errorf("r3 = %d, want 7", vm.Reg(3))
+	}
+	if vm.Reg(-1) != 0 || vm.Reg(99) != 0 {
+		t.Error("out-of-range Reg reads should be 0")
+	}
+}
+
+func TestStepsCounted(t *testing.T) {
+	vm := run(t, "fn main\n nop\n nop\n halt")
+	if vm.Steps() != 3 {
+		t.Errorf("Steps = %d, want 3", vm.Steps())
+	}
+}
+
+func TestModByZero(t *testing.T) {
+	p := mustAssemble(t, "fn main\n loadi r1, 5\n loadi r2, 0\n mod r3, r1, r2")
+	if err := New(p, event.NewSymtab()).Run(); !errors.Is(err, ErrDivideByZero) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRndZeroModulus(t *testing.T) {
+	vm := run(t, "fn main\n loadi r1, 0\n rnd r2, r1\n halt")
+	if vm.Reg(2) != 0 {
+		t.Errorf("rnd with zero modulus = %d, want 0", vm.Reg(2))
+	}
+}
+
+func TestCmpEq(t *testing.T) {
+	vm := run(t, `
+fn main
+  loadi r1, 5
+  loadi r2, 5
+  cmpeq r3, r1, r2
+  loadi r4, 6
+  cmpeq r5, r1, r4
+  halt
+`)
+	if vm.Reg(3) != 1 || vm.Reg(5) != 0 {
+		t.Errorf("cmpeq: r3=%d r5=%d", vm.Reg(3), vm.Reg(5))
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if ALLOC.String() != "alloc" || ENTER.String() != "enter" {
+		t.Error("op names wrong")
+	}
+	if !strings.Contains(Op(201).String(), "201") {
+		t.Error("unknown op should embed number")
+	}
+}
+
+func TestFnIndex(t *testing.T) {
+	p := mustAssemble(t, "fn main\n halt\nfn other\n ret")
+	if p.FnIndex("other") != 1 || p.FnIndex("main") != 0 || p.FnIndex("x") != -1 {
+		t.Error("FnIndex wrong")
+	}
+}
+
+func TestDisassembleRoundTripMnemonics(t *testing.T) {
+	src := `
+fn main
+  loadi r1, 16
+  alloc r2, r1
+  loadi r3, 7
+  store r2, 0, r3
+  load r4, r2, 0
+  mov r5, r4
+  add r6, r5, r4
+  cmplt r7, r6, r1
+  rnd r8, r1
+  jnz r7, out
+  jmp out
+out:
+  call helper
+  free r2
+  halt
+fn helper
+  ret
+`
+	p := mustAssemble(t, src)
+	out := Disassemble(p, nil)
+	for _, want := range []string{"fn main", "fn helper", "loadi r1, 16",
+		"alloc r2, r1", "store r2, 0, r3", "load r4, r2, 0", "call helper",
+		"jnz r7", "free r2", "halt", "ret"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,193 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heapmd/internal/heapgraph"
+)
+
+func TestIDString(t *testing.T) {
+	if Roots.String() != "Roots" || OutDeg1.String() != "Outdeg=1" || InEqOut.String() != "In=Out" {
+		t.Errorf("unexpected names: %s %s %s", Roots, OutDeg1, InEqOut)
+	}
+	if got := ID(-1).String(); got != "metrics.ID(-1)" {
+		t.Errorf("invalid ID name = %q", got)
+	}
+}
+
+func TestParseIDRoundTrip(t *testing.T) {
+	for id := ID(0); id < numIDs; id++ {
+		got, err := ParseID(id.String())
+		if err != nil {
+			t.Fatalf("ParseID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Errorf("ParseID(%q) = %v, want %v", id.String(), got, id)
+		}
+	}
+	if _, err := ParseID("bogus"); err == nil {
+		t.Error("ParseID of unknown name should fail")
+	}
+}
+
+func TestNewSuiteDeduplicates(t *testing.T) {
+	s := NewSuite(Roots, Roots, Leaves, ID(-3), ID(999))
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if s.Index(Roots) != 0 || s.Index(Leaves) != 1 || s.Index(InDeg1) != -1 {
+		t.Error("suite ordering/index wrong")
+	}
+}
+
+func TestDefaultSuite(t *testing.T) {
+	s := DefaultSuite()
+	if s.Len() != 7 {
+		t.Fatalf("default suite has %d metrics, want 7", s.Len())
+	}
+	for _, id := range s.IDs() {
+		if id.Expensive() {
+			t.Errorf("default suite contains expensive metric %v", id)
+		}
+	}
+}
+
+func TestComputeEmptyGraph(t *testing.T) {
+	g := heapgraph.New()
+	snap := DefaultSuite().Compute(g, 3)
+	if snap.Tick != 3 || snap.Vertices != 0 {
+		t.Fatalf("snapshot header = %+v", snap)
+	}
+	for i, v := range snap.Values {
+		if v != 0 {
+			t.Errorf("metric %d on empty graph = %v, want 0", i, v)
+		}
+	}
+}
+
+// linkedListGraph builds the canonical k-node singly linked list used
+// in the paper's Figure 3 discussion.
+func linkedListGraph(k int) *heapgraph.Graph {
+	g := heapgraph.New()
+	for i := 0; i < k; i++ {
+		g.AddVertex(heapgraph.VertexID(i))
+	}
+	for i := 0; i+1 < k; i++ {
+		g.AddEdge(heapgraph.VertexID(i), heapgraph.VertexID(i+1))
+	}
+	return g
+}
+
+func TestComputeLinkedList(t *testing.T) {
+	// For a 10-node list at object granularity: 1 root, 9 nodes with
+	// indegree 1, 1 leaf, 9 with outdegree 1, and 8 interior nodes
+	// with in==out (the head has 0/1, the tail 1/0).
+	g := linkedListGraph(10)
+	s := DefaultSuite()
+	snap := s.Compute(g, 0)
+	want := map[ID]float64{
+		Roots:   10,
+		InDeg1:  90,
+		InDeg2:  0,
+		Leaves:  10,
+		OutDeg1: 90,
+		OutDeg2: 0,
+		InEqOut: 80,
+	}
+	for id, w := range want {
+		got := snap.Values[s.Index(id)]
+		if math.Abs(got-w) > 1e-9 {
+			t.Errorf("%v = %v, want %v", id, got, w)
+		}
+	}
+}
+
+func TestComputeExtended(t *testing.T) {
+	// Two disjoint 5-node lists: 2 WCCs over 10 vertices = 20 per
+	// 100 vertices; 10 SCCs (acyclic) = 100 per 100 vertices.
+	g := heapgraph.New()
+	for i := 0; i < 10; i++ {
+		g.AddVertex(heapgraph.VertexID(i))
+	}
+	for i := 0; i < 4; i++ {
+		g.AddEdge(heapgraph.VertexID(i), heapgraph.VertexID(i+1))
+		g.AddEdge(heapgraph.VertexID(5+i), heapgraph.VertexID(6+i))
+	}
+	s := ExtendedSuite()
+	snap := s.Compute(g, 0)
+	if got := snap.Values[s.Index(Components)]; math.Abs(got-20) > 1e-9 {
+		t.Errorf("Components = %v, want 20", got)
+	}
+	if got := snap.Values[s.Index(SCCs)]; math.Abs(got-100) > 1e-9 {
+		t.Errorf("SCCs = %v, want 100", got)
+	}
+}
+
+// TestPercentagesSumProperties checks cross-metric consistency on
+// random graphs: every percentage is within [0,100], and the indegree
+// buckets 0,1,2 plus the rest account for all vertices.
+func TestPercentagesSumProperties(t *testing.T) {
+	type edge struct{ U, V uint8 }
+	f := func(edges []edge, nSeed uint8) bool {
+		n := int(nSeed%50) + 1
+		g := heapgraph.New()
+		for i := 0; i < n; i++ {
+			g.AddVertex(heapgraph.VertexID(i))
+		}
+		for _, e := range edges {
+			g.AddEdge(heapgraph.VertexID(int(e.U)%n), heapgraph.VertexID(int(e.V)%n))
+		}
+		s := DefaultSuite()
+		snap := s.Compute(g, 0)
+		for _, v := range snap.Values {
+			if v < 0 || v > 100+1e-9 {
+				return false
+			}
+		}
+		in012 := snap.Values[s.Index(Roots)] + snap.Values[s.Index(InDeg1)] + snap.Values[s.Index(InDeg2)]
+		return in012 <= 100+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := DefaultSuite()
+	g := linkedListGraph(4)
+	snaps := []Snapshot{s.Compute(g, 0)}
+	g.AddVertex(100) // new isolated root+leaf
+	snaps = append(snaps, s.Compute(g, 1))
+	series := s.Series(snaps, Roots)
+	if len(series) != 2 {
+		t.Fatalf("series length = %d", len(series))
+	}
+	if series[0] != 25 || series[1] != 40 {
+		t.Errorf("Roots series = %v, want [25 40]", series)
+	}
+	if s.Series(snaps, Components) != nil {
+		t.Error("Series of absent metric should be nil")
+	}
+}
+
+func BenchmarkComputeDefault(b *testing.B) {
+	g := linkedListGraph(100000)
+	s := DefaultSuite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Compute(g, uint64(i))
+	}
+}
+
+func BenchmarkComputeExtended(b *testing.B) {
+	g := linkedListGraph(10000)
+	s := ExtendedSuite()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Compute(g, uint64(i))
+	}
+}

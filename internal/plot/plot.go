@@ -1,0 +1,161 @@
+// Package plot renders metric time series as ASCII charts — the
+// terminal stand-in for the paper's GUI "that plots heap metrics while
+// the program executes". The experiment harness uses it for Figures
+// 4, 5 and 10, where the paper shows metric trajectories and
+// calibrated bounds.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named line on a chart.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Options configures a chart.
+type Options struct {
+	// Title is printed above the chart.
+	Title string
+	// Width and Height of the plot area in characters; defaults 72
+	// and 16.
+	Width, Height int
+	// YMin/YMax fix the vertical range; when both are zero the range
+	// is derived from the data with a small margin.
+	YMin, YMax float64
+	// HLines draws labelled horizontal rules (e.g. calibrated
+	// min/max, the paper's Figure 10 bounds).
+	HLines map[string]float64
+}
+
+const markers = "*o+x#@"
+
+// Render draws the series over a shared x-axis (sample index) and
+// returns the chart as a string.
+func Render(opts Options, series ...Series) string {
+	w, h := opts.Width, opts.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 16
+	}
+	maxLen := 0
+	for _, s := range series {
+		if len(s.Values) > maxLen {
+			maxLen = len(s.Values)
+		}
+	}
+	if maxLen == 0 {
+		return opts.Title + "\n(no data)\n"
+	}
+
+	ymin, ymax := opts.YMin, opts.YMax
+	if ymin == 0 && ymax == 0 {
+		ymin, ymax = math.Inf(1), math.Inf(-1)
+		for _, s := range series {
+			for _, v := range s.Values {
+				ymin = math.Min(ymin, v)
+				ymax = math.Max(ymax, v)
+			}
+		}
+		for _, v := range opts.HLines {
+			ymin = math.Min(ymin, v)
+			ymax = math.Max(ymax, v)
+		}
+		if math.IsInf(ymin, 1) {
+			ymin, ymax = 0, 1
+		}
+		margin := (ymax - ymin) * 0.05
+		if margin == 0 {
+			margin = 1
+		}
+		ymin -= margin
+		ymax += margin
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	row := func(v float64) int {
+		frac := (v - ymin) / (ymax - ymin)
+		r := int(math.Round(float64(h-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= h {
+			r = h - 1
+		}
+		return r
+	}
+	// Horizontal rules first so data overdraws them.
+	for _, v := range opts.HLines {
+		r := row(v)
+		for c := 0; c < w; c++ {
+			grid[r][c] = '-'
+		}
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i, v := range s.Values {
+			c := 0
+			if maxLen > 1 {
+				c = i * (w - 1) / (maxLen - 1)
+			}
+			grid[row(v)][c] = m
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	for r := 0; r < h; r++ {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.1f ", ymax)
+		case h - 1:
+			label = fmt.Sprintf("%7.1f ", ymin)
+		case (h - 1) / 2:
+			label = fmt.Sprintf("%7.1f ", (ymax+ymin)/2)
+		}
+		fmt.Fprintf(&b, "%s|%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s+%s\n", strings.Repeat(" ", 8), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%sx: metric computation points (0..%d)\n", strings.Repeat(" ", 9), maxLen-1)
+	// Legend.
+	for si, s := range series {
+		fmt.Fprintf(&b, "%s%c %s\n", strings.Repeat(" ", 9), markers[si%len(markers)], s.Name)
+	}
+	for _, kv := range sortedHLines(opts.HLines) {
+		fmt.Fprintf(&b, "%s- %s = %.2f\n", strings.Repeat(" ", 9), kv.name, kv.value)
+	}
+	return b.String()
+}
+
+type hline struct {
+	name  string
+	value float64
+}
+
+func sortedHLines(m map[string]float64) []hline {
+	out := make([]hline, 0, len(m))
+	for k, v := range m {
+		out = append(out, hline{k, v})
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].name < out[j-1].name; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	out := Render(Options{Title: "demo", Width: 40, Height: 8},
+		Series{Name: "indeg=1", Values: []float64{10, 20, 30, 20, 10}})
+	if !strings.Contains(out, "demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "indeg=1") {
+		t.Error("missing legend entry")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("missing data markers")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 rows + axis + x-label + legend
+	if len(lines) < 11 {
+		t.Errorf("only %d lines rendered", len(lines))
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(Options{Title: "empty"})
+	if !strings.Contains(out, "(no data)") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderHLines(t *testing.T) {
+	out := Render(Options{
+		Width: 40, Height: 10,
+		HLines: map[string]float64{"max": 30, "min": 10},
+	}, Series{Name: "m", Values: []float64{15, 20, 25}})
+	if !strings.Contains(out, "max = 30.00") || !strings.Contains(out, "min = 10.00") {
+		t.Error("missing hline legend")
+	}
+	if !strings.Contains(out, "----") {
+		t.Error("missing rule line")
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	out := Render(Options{Width: 30, Height: 6},
+		Series{Name: "a", Values: []float64{1, 2, 3}},
+		Series{Name: "b", Values: []float64{3, 2, 1}})
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("each series should have a distinct marker")
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate Y range must not divide by zero.
+	out := Render(Options{Width: 20, Height: 5},
+		Series{Name: "flat", Values: []float64{5, 5, 5}})
+	if !strings.Contains(out, "*") {
+		t.Error("constant series rendered no markers")
+	}
+}
+
+func TestRenderSingleSample(t *testing.T) {
+	out := Render(Options{Width: 20, Height: 5},
+		Series{Name: "one", Values: []float64{42}})
+	if !strings.Contains(out, "*") {
+		t.Error("single sample not rendered")
+	}
+}
+
+func TestFixedYRangeClamps(t *testing.T) {
+	// Values beyond the fixed range must clamp, not panic.
+	out := Render(Options{Width: 20, Height: 5, YMin: 0, YMax: 10},
+		Series{Name: "hot", Values: []float64{-5, 5, 50}})
+	if !strings.Contains(out, "*") {
+		t.Error("clamped series not rendered")
+	}
+}

@@ -1,0 +1,224 @@
+// Package trace records and replays instrumentation event streams,
+// enabling HeapMD's second usage mode (paper Section 2): post-mortem
+// analysis, where the program's execution trace is captured online and
+// compared against the model offline. Offline analysis can use whole-
+// trace information and avoids perturbing the monitored program beyond
+// the cost of logging.
+//
+// Format (all integers little-endian):
+//
+//	header:  magic "HMDT" | version u32
+//	events:  n records of 37 bytes each:
+//	         type u8 | fn u32 | addr u64 | value u64 | old u64 | size u64
+//	trailer: symtab (count u32, then count length-prefixed names)
+//	         | symtabLen u64 | eventCount u64 | magic "TDMH"
+//
+// The symbol table is written as a trailer because it is only complete
+// once the run finishes interning function names; Replay locates it by
+// seeking to the end.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"heapmd/internal/event"
+)
+
+var (
+	headerMagic  = [4]byte{'H', 'M', 'D', 'T'}
+	trailerMagic = [4]byte{'T', 'D', 'M', 'H'}
+)
+
+// Version is the trace format version.
+const Version uint32 = 1
+
+const recordSize = 1 + 4 + 8 + 8 + 8 + 8
+
+// ErrCorrupt indicates a malformed trace file.
+var ErrCorrupt = errors.New("trace: corrupt trace")
+
+// Writer streams events to an underlying writer. It implements
+// event.Sink; I/O errors are sticky and surfaced by Close.
+type Writer struct {
+	w   *bufio.Writer
+	n   uint64
+	err error
+	buf [recordSize]byte
+}
+
+// NewWriter writes the header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.Write(headerMagic[:]); err != nil {
+		return nil, err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], Version)
+	if _, err := bw.Write(v[:]); err != nil {
+		return nil, err
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Emit implements event.Sink.
+func (tw *Writer) Emit(e event.Event) {
+	if tw.err != nil {
+		return
+	}
+	b := tw.buf[:]
+	b[0] = byte(e.Type)
+	binary.LittleEndian.PutUint32(b[1:], uint32(e.Fn))
+	binary.LittleEndian.PutUint64(b[5:], e.Addr)
+	binary.LittleEndian.PutUint64(b[13:], e.Value)
+	binary.LittleEndian.PutUint64(b[21:], e.Old)
+	binary.LittleEndian.PutUint64(b[29:], e.Size)
+	if _, err := tw.w.Write(b); err != nil {
+		tw.err = err
+		return
+	}
+	tw.n++
+}
+
+// Events returns the number of events written so far.
+func (tw *Writer) Events() uint64 { return tw.n }
+
+// Close writes the symbol-table trailer and flushes. The Writer is
+// unusable afterwards.
+func (tw *Writer) Close(sym *event.Symtab) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	var symLen uint64
+	writeU32 := func(x uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], x)
+		if tw.err == nil {
+			if _, err := tw.w.Write(b[:]); err != nil {
+				tw.err = err
+			}
+		}
+		symLen += 4
+	}
+	count := uint32(0)
+	if sym != nil {
+		count = uint32(sym.Len())
+	}
+	writeU32(count)
+	for id := event.FnID(1); id <= event.FnID(count); id++ {
+		name := sym.Name(id)
+		writeU32(uint32(len(name)))
+		if tw.err == nil {
+			if _, err := tw.w.WriteString(name); err != nil {
+				tw.err = err
+			}
+		}
+		symLen += uint64(len(name))
+	}
+	var tail [20]byte
+	binary.LittleEndian.PutUint64(tail[0:], symLen)
+	binary.LittleEndian.PutUint64(tail[8:], tw.n)
+	copy(tail[16:], trailerMagic[:])
+	if tw.err == nil {
+		if _, err := tw.w.Write(tail[:]); err != nil {
+			tw.err = err
+		}
+	}
+	if tw.err == nil {
+		tw.err = tw.w.Flush()
+	}
+	return tw.err
+}
+
+// Replay reads a trace and delivers every event to sink in order. It
+// returns the reconstructed symbol table and the number of events
+// replayed.
+func Replay(r io.ReadSeeker, sink event.Sink) (*event.Symtab, uint64, error) {
+	// Validate header.
+	var hdr [8]byte
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if [4]byte(hdr[:4]) != headerMagic {
+		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
+		return nil, 0, fmt.Errorf("trace: unsupported version %d", v)
+	}
+	// Locate and validate trailer.
+	end, err := r.Seek(-20, io.SeekEnd)
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: missing trailer", ErrCorrupt)
+	}
+	var tail [20]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, 0, fmt.Errorf("%w: short trailer", ErrCorrupt)
+	}
+	if [4]byte(tail[16:]) != trailerMagic {
+		return nil, 0, fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
+	}
+	symLen := binary.LittleEndian.Uint64(tail[0:])
+	nEvents := binary.LittleEndian.Uint64(tail[8:])
+	symStart := end - int64(symLen)
+	if symStart < 8 {
+		return nil, 0, fmt.Errorf("%w: implausible symtab length", ErrCorrupt)
+	}
+	// Read symbol table.
+	if _, err := r.Seek(symStart, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	sr := bufio.NewReader(io.LimitReader(r, int64(symLen)))
+	readU32 := func() (uint32, error) {
+		var b [4]byte
+		if _, err := io.ReadFull(sr, b[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b[:]), nil
+	}
+	count, err := readU32()
+	if err != nil {
+		return nil, 0, fmt.Errorf("%w: symtab count", ErrCorrupt)
+	}
+	sym := event.NewSymtab()
+	for i := uint32(0); i < count; i++ {
+		n, err := readU32()
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: symtab entry", ErrCorrupt)
+		}
+		name := make([]byte, n)
+		if _, err := io.ReadFull(sr, name); err != nil {
+			return nil, 0, fmt.Errorf("%w: symtab name", ErrCorrupt)
+		}
+		sym.Intern(string(name))
+	}
+	// Replay events.
+	expected := int64(8) + int64(nEvents)*recordSize
+	if expected != symStart {
+		return nil, 0, fmt.Errorf("%w: event region size mismatch", ErrCorrupt)
+	}
+	if _, err := r.Seek(8, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	er := bufio.NewReaderSize(io.LimitReader(r, int64(nEvents)*recordSize), 1<<16)
+	var rec [recordSize]byte
+	for i := uint64(0); i < nEvents; i++ {
+		if _, err := io.ReadFull(er, rec[:]); err != nil {
+			return nil, i, fmt.Errorf("%w: truncated events", ErrCorrupt)
+		}
+		sink.Emit(event.Event{
+			Type:  event.Type(rec[0]),
+			Fn:    event.FnID(binary.LittleEndian.Uint32(rec[1:])),
+			Addr:  binary.LittleEndian.Uint64(rec[5:]),
+			Value: binary.LittleEndian.Uint64(rec[13:]),
+			Old:   binary.LittleEndian.Uint64(rec[21:]),
+			Size:  binary.LittleEndian.Uint64(rec[29:]),
+		})
+	}
+	return sym, nEvents, nil
+}

@@ -1,0 +1,571 @@
+package workloads
+
+import (
+	"heapmd/internal/ds"
+	"heapmd/internal/faults"
+	"heapmd/internal/prog"
+)
+
+// The five commercial-application-like workloads. Unlike the SPEC
+// models these support 5 development versions (Figure 7(B)) and
+// contain the fault sites for the paper's bug study (Tables 1 and 2):
+// every workload exercises a property-table migration (the Figure 11
+// typo site), shared circular-list maintenance (the Figure 12 site),
+// back-pointer-carrying structures (the Figure 1 / Figure 10 sites),
+// and the indirect-bug structures of Figure 9; plus the negative-
+// control leak sites (SmallLeak, ReachableLeak).
+
+func init() {
+	register(&multimediaWL{base{name: "multimedia", class: Commercial, stable: "In=Out", scale: 260, spread: 120, desc: "media player: frame pools + per-stream ring buffers"}})
+	register(&webappWL{base{name: "webapp", class: Commercial, stable: "Indeg=1", scale: 240, spread: 120, desc: "interactive web app: session tables, request queues"}})
+	register(&gameSimWL{base{name: "game_sim", class: Commercial, stable: "Outdeg=1", scale: 220, spread: 110, desc: "simulation game: entity chains per region + components"}})
+	register(&gameActionWL{base{name: "game_action", class: Commercial, stable: "Indeg=1", scale: 200, spread: 100, desc: "action game: scene BST with parent pointers + particle pools"}})
+	register(&productivityWL{base{name: "productivity", class: Commercial, stable: "Leaves", scale: 220, spread: 110, desc: "productivity suite: B-tree index, paragraph dlist, text blobs"}})
+}
+
+// negativeLeaks executes the negative-control leak sites shared by
+// all commercial workloads: a tiny unreachable leak (well disguised —
+// HeapMD must not fire) and a reachable "cache that is never pruned"
+// leak (invisible to HeapMD, stale for SWAT). The reachable leak
+// parks objects in spare slots of a preallocated cache table: each
+// trigger adds one leaf object and nothing else, so the heap-graph
+// barely notices, while SWAT sees a growing pile of never-accessed
+// objects at one allocation site.
+func negativeLeaks(p *prog.Process, name string, cache *ptrTable, next *int) {
+	if p.Hit(faults.SmallLeak) {
+		leakObjects(p, name, 1, 4)
+	}
+	if p.Hit(faults.ReachableLeak) && *next < cache.len() {
+		defer p.Enter(name + ".cacheStore")()
+		cache.set(*next, p.AllocWords(6))
+		*next++
+	}
+}
+
+// multimediaWL models a media player: a large frame-buffer pool, a
+// set of per-stream ring buffers whose interior nodes have
+// indegree = outdegree = 1, and a playlist. The ring interiors pin
+// "In=Out" in a low narrow band (paper: 6.7-9.7%). Ring retire and
+// refill are phase-shifted across streams so a dangling tail left by
+// the SharedFree fault persists long enough to shift "Indeg=2".
+type multimediaWL struct{ base }
+
+func (w *multimediaWL) Run(p *prog.Process, in Input, version int) {
+	rng := p.Rand()
+	frames := in.Scale * 3
+	const streams = 24
+	ringLen := 5 + in.Scale/80
+	var framePool *ptrTable
+	var frameChurn *churnPool
+	rings := make([]*ds.CircularList, streams)
+	var playlist *ds.DList
+	var props *propertyTable
+	var collector *ptrTable
+	var codec *ds.HashTable
+	var cache *ptrTable
+	cacheNext := 0
+	var scratch []uint64
+	phase(p, "mm.startup", func() {
+		framePool = newPtrTable(p, "mm.frames", frames)
+		frameChurn = newChurnPool(framePool, 6)
+		for s := range rings {
+			rings[s] = ds.NewCircularList(p, "mm.ring")
+			for i := 0; i < ringLen; i++ {
+				rings[s].Append(uint64(i))
+			}
+		}
+		playlist = ds.NewDList(p, "mm.playlist")
+		for i := 0; i < 14; i++ {
+			playlist.PushBack(uint64(i))
+		}
+		props = newPropertyTable(p, "mm.props", 24)
+		for j := 1; j < 24; j++ { // slot 0 stays empty (see migrate)
+			props.fill(j, 3)
+		}
+		collector = newPtrTable(p, "mm.collected", 24)
+		codec = ds.NewHashTable(p, "mm.codec", 96)
+		for k := 0; k < 256; k++ {
+			codec.Put(uint64(k), uint64(k*3))
+		}
+		cache = newPtrTable(p, "mm.cachetab", 64)
+		scratch = scratchRoots(p, "mm", in)
+	})
+	ticks := int(float64(110) * versionFactor(version))
+	for t := 0; t < ticks; t++ {
+		phase(p, "mm.decodeFrame", func() {
+			for k := 0; k < frames/35; k++ {
+				frameChurn.tick(rng)
+			}
+			// Stream buffer management — the Figure 12 shared-free
+			// site. Each tick drains one node from the current
+			// stream's ring; the ring is only refilled once it runs
+			// low, so a dangling tail left by a faulty PopFront
+			// persists for a couple of drain cycles before an
+			// append overwrites it.
+			r := rings[t%streams]
+			r.PopFront()
+			if r.Len() < ringLen-2 {
+				for r.Len() < ringLen {
+					r.Append(uint64(t))
+				}
+			}
+			codec.Get(uint64(rng.Intn(300)))
+			// Playlist edits — the Figure 1 dlist site.
+			if t%5 == 2 {
+				playlist.InsertAfter(playlist.Head(), uint64(t))
+				if playlist.Len() > 18 {
+					playlist.Remove(playlist.Tail())
+				}
+			}
+			// Metadata migration — the Figure 11 typo site.
+			if t%5 == 2 {
+				j := 1 + rng.Intn(23)
+				props.fill(j, 3)
+				props.migrate(collector, rng.Intn(24), j)
+			}
+			negativeLeaks(p, "mm", cache, &cacheNext)
+		})
+	}
+	phase(p, "mm.shutdown", func() {
+		freeScratch(p, "mm", scratch)
+		codec.FreeAll()
+		framePool.freeAll()
+		for _, r := range rings {
+			r.FreeAll()
+		}
+		playlist.FreeAll()
+		props.freeAll()
+		for i := 0; i < collector.len(); i++ {
+			if h := collector.get(i); h != 0 {
+				freeChain(p, "mm", h)
+				collector.set(i, 0)
+			}
+		}
+		collector.freeAll()
+	})
+}
+
+// webappWL models an interactive web application: a session table
+// whose objects are singly referenced, with roughly half also held in
+// an LRU index (indegree 2), plus routing tables and request queues.
+// The singly-referenced majority pins "Indeg=1" (paper: 43.5-55.1%).
+type webappWL struct{ base }
+
+func (w *webappWL) Run(p *prog.Process, in Input, version int) {
+	rng := p.Rand()
+	sessions := in.Scale * 2
+	lruN := sessions * (3 + in.knob(12, 3)) / 10 // 30-50% hot
+	var sessTab, lru, respTab *ptrTable
+	var respChurn *churnPool
+	var queue, notices *ds.DList
+	var routes *ds.HashTable
+	var props *propertyTable
+	var collector *ptrTable
+	var cache *ptrTable
+	cacheNext := 0
+	var scratch []uint64
+	phase(p, "web.startup", func() {
+		sessTab = newPtrTable(p, "web.sessions", sessions)
+		sessTab.fill(5)
+		// Hot sessions carry a second reference from the LRU index.
+		lru = newPtrTable(p, "web.lru", lruN)
+		for i := 0; i < lruN; i++ {
+			lru.set(i, sessTab.get(i*2))
+		}
+		queue = ds.NewDList(p, "web.queue")
+		notices = ds.NewDList(p, "web.notices")
+		vals := make([]uint64, 40)
+		for i := range vals {
+			vals[i] = uint64(i)
+		}
+		notices.PushBackMany(vals)
+		routes = ds.NewHashTable(p, "web.routes", 32)
+		for r := 0; r < 48; r++ {
+			routes.Put(uint64(r), uint64(r))
+		}
+		props = newPropertyTable(p, "web.props", 12)
+		for j := 1; j < 12; j++ { // slot 0 stays empty (see migrate)
+			props.fill(j, 3)
+		}
+		collector = newPtrTable(p, "web.collected", 12)
+		respTab = newPtrTable(p, "web.responses", in.Scale)
+		respChurn = newChurnPool(respTab, 4)
+		cache = newPtrTable(p, "web.cachetab", 64)
+		scratch = scratchRoots(p, "web", in)
+	})
+	requests := int(float64(80) * versionFactor(version))
+	for r := 0; r < requests; r++ {
+		phase(p, "web.handleRequest", func() {
+			// Session churn: replace one session and refresh its
+			// LRU slot in the same entry.
+			i := rng.Intn(lruN)
+			obj := sessTab.replace(i*2, 5)
+			lru.set(i, obj)
+			sessTab.replace(1+2*rng.Intn(sessions/2-1), 5)
+			// Request queue: enqueue, process, dequeue.
+			queue.PushBack(uint64(r))
+			if queue.Len() > 8 {
+				queue.Remove(queue.Head())
+			}
+			routes.Get(uint64(rng.Intn(64)))
+			// Notification feed edits — dlist invariant site with a
+			// persistent population.
+			notices.InsertAfter(notices.Head(), uint64(r))
+			if notices.Len() > 44 {
+				notices.Remove(notices.Tail())
+			}
+			respChurn.tick(rng)
+			respChurn.tick(rng)
+			if r%8 == 5 {
+				j := 1 + rng.Intn(11)
+				props.fill(j, 3)
+				dst := rng.Intn(12)
+				props.migrate(collector, dst, j)
+				// Responses are assembled and released immediately,
+				// so the collector never accumulates.
+				if h := collector.get(dst); h != 0 {
+					freeChain(p, "web.props", h)
+					collector.set(dst, 0)
+				}
+			}
+			negativeLeaks(p, "web", cache, &cacheNext)
+		})
+	}
+	phase(p, "web.shutdown", func() {
+		freeScratch(p, "web", scratch)
+		respTab.freeAll()
+		notices.FreeAll()
+		sessTab.freeAll()
+		lru.p.Free(lru.addr) // LRU holds second references only
+		queue.FreeAll()
+		routes.FreeAll()
+		props.freeAll()
+		for i := 0; i < collector.len(); i++ {
+			if h := collector.get(i); h != 0 {
+				freeChain(p, "web", h)
+				collector.set(i, 0)
+			}
+		}
+		collector.freeAll()
+	})
+}
+
+// gameSimWL models a simulation game: entity chains per region plus
+// leaf component blobs. Chain interiors keep "Outdeg=1" stable
+// (paper: 17.9-28.8%).
+type gameSimWL struct{ base }
+
+func (w *gameSimWL) Run(p *prog.Process, in Input, version int) {
+	rng := p.Rand()
+	regions := in.Scale / 10
+	entPerRegion := 6 + 2*in.knob(11, 3) // 6, 8 or 10 per class
+	var regionTab, compTab *ptrTable
+	var compChurn *churnPool
+	jobs := make([]*ds.CircularList, 16)
+	var nav *ds.AdjGraph
+	var blueprints *ds.DList
+	var props *propertyTable
+	var collector *ptrTable
+	var cache *ptrTable
+	cacheNext := 0
+	var scratch []uint64
+	phase(p, "sim.startup", func() {
+		regionTab = newPtrTable(p, "sim.regions", regions)
+		for i := 0; i < regions; i++ {
+			rebuildChain(regionTab, i, entPerRegion)
+		}
+		compTab = newPtrTable(p, "sim.components", in.Scale*2)
+		compChurn = newChurnPool(compTab, 4)
+		for j := range jobs {
+			jobs[j] = ds.NewCircularList(p, "sim.jobs")
+			for i := 0; i < 6; i++ {
+				jobs[j].Append(uint64(i))
+			}
+		}
+		nav = ds.NewAdjGraph(p, "sim.nav", in.Scale/8)
+		nav.Populate(2)
+		blueprints = ds.NewDList(p, "sim.blueprints")
+		for i := 0; i < 16; i++ {
+			blueprints.PushBack(uint64(i))
+		}
+		props = newPropertyTable(p, "sim.props", 12)
+		for j := 1; j < 12; j++ {
+			props.fill(j, 3)
+		}
+		collector = newPtrTable(p, "sim.collected", 12)
+		cache = newPtrTable(p, "sim.cachetab", 64)
+		scratch = scratchRoots(p, "sim", in)
+	})
+	ticks := int(float64(110) * versionFactor(version))
+	for t := 0; t < ticks; t++ {
+		phase(p, "sim.tick", func() {
+			// Respawn one region's entity chain atomically.
+			rebuildChain(regionTab, rng.Intn(regions), entPerRegion)
+			// Component updates; population breathes with entity
+			// activity.
+			for k := 0; k < compTab.len()/40; k++ {
+				compChurn.tick(rng)
+			}
+			// Job queue drain/refill — shared-free site. Queues
+			// drain before being refilled, so a dangling tail from
+			// a faulty PopFront lives for much of a drain cycle.
+			jq := jobs[t%len(jobs)]
+			jq.PopFront()
+			if jq.Len() < 4 {
+				for jq.Len() < 6 {
+					jq.Append(uint64(t))
+				}
+			}
+			// Blueprint edits — dlist invariant site.
+			if t%4 == 1 {
+				blueprints.InsertAfter(blueprints.Head(), uint64(t))
+				if blueprints.Len() > 20 {
+					blueprints.Remove(blueprints.Tail())
+				}
+			}
+			// Path queries over the nav graph.
+			nav.Rewire(rng.Intn(nav.N()))
+			// Save-state migration — typo site.
+			if t%4 == 1 {
+				j := 1 + rng.Intn(11)
+				props.fill(j, 3)
+				props.migrate(collector, rng.Intn(12), j)
+			}
+			negativeLeaks(p, "sim", cache, &cacheNext)
+		})
+	}
+	phase(p, "sim.shutdown", func() {
+		freeScratch(p, "sim", scratch)
+		for i := 0; i < regions; i++ {
+			freeChain(p, "sim.entities", regionTab.get(i))
+			regionTab.set(i, 0)
+		}
+		regionTab.freeAll()
+		compTab.freeAll()
+		for _, jq := range jobs {
+			jq.FreeAll()
+		}
+		nav.FreeAll()
+		blueprints.FreeAll()
+		props.freeAll()
+		for i := 0; i < collector.len(); i++ {
+			if h := collector.get(i); h != 0 {
+				freeChain(p, "sim", h)
+				collector.set(i, 0)
+			}
+		}
+		collector.freeAll()
+	})
+}
+
+// gameActionWL models an action game: a scene graph kept as a BST
+// with parent back-pointers (the Figure 10 fault site) plus a
+// particle pool whose objects carry two references each (pool table +
+// active-set table). Only BST leaves and scratch sit at indegree 1,
+// so "Indeg=1" is stable and low (paper: 13.2-18.5%); the
+// TreeNoParent fault pushes it up and out of band over time.
+type gameActionWL struct{ base }
+
+func (w *gameActionWL) Run(p *prog.Process, in Input, version int) {
+	rng := p.Rand()
+	particles := in.Scale * 2
+	sceneN := in.Scale * (8 + in.knob(13, 5)) / 10 // 80-120% of scale
+	var scene *ds.BST
+	var pool, activeTab, fxTab *ptrTable
+	var fxChurn *churnPool
+	var octree *ds.OctTree
+	var bvh uint64
+	replays := make([]*ds.CircularList, 6)
+	var props *propertyTable
+	var collector *ptrTable
+	var cache *ptrTable
+	cacheNext := 0
+	var scratch []uint64
+	sceneKeys := make([]uint64, 0, 512)
+	phase(p, "act.startup", func() {
+		scene = ds.NewBST(p, "act.scene")
+		for i := 0; i < sceneN; i++ {
+			sceneKeys = append(sceneKeys, uint64(rng.Intn(1<<20)))
+		}
+		scene.InsertMany(sceneKeys)
+		pool = newPtrTable(p, "act.particles", particles)
+		activeTab = newPtrTable(p, "act.active", particles)
+		for i := 0; i < particles; i++ {
+			obj := p.AllocWords(4)
+			pool.set(i, obj)
+			activeTab.set(i, obj) // second reference
+		}
+		// Spatial index: the oct-tree (OctDAG fault site) is built
+		// during startup — which is why the paper's oct-DAG bug is
+		// "poorly disguised": it pins the metric from startup on.
+		octree = ds.BuildOctTree(p, "act.octree", 2)
+		fxTab = newPtrTable(p, "act.effects", in.Scale/2)
+		fxChurn = newChurnPool(fxTab, 4)
+		// Bounding-volume hierarchy — the SingleChild indirect site.
+		bvh = ds.FullBinaryTree(p, "act.bvh", 4)
+		for j := range replays {
+			replays[j] = ds.NewCircularList(p, "act.replay")
+			for i := 0; i < 6; i++ {
+				replays[j].Append(uint64(i))
+			}
+		}
+		props = newPropertyTable(p, "act.assets", 10)
+		for j := 1; j < 10; j++ {
+			props.fill(j, 3)
+		}
+		collector = newPtrTable(p, "act.collected", 10)
+		cache = newPtrTable(p, "act.cachetab", 64)
+		scratch = scratchRoots(p, "act", in)
+	})
+	framesN := int(float64(220) * versionFactor(version))
+	for f := 0; f < framesN; f++ {
+		phase(p, "act.frame", func() {
+			// Scene graph edits — the TreeNoParent site. Inserts
+			// and deletes alternate, holding the node count steady
+			// on healthy runs.
+			k := uint64(rng.Intn(1 << 20))
+			scene.Insert(k)
+			sceneKeys = append(sceneKeys, k)
+			i := rng.Intn(len(sceneKeys))
+			if scene.Delete(sceneKeys[i]) {
+				sceneKeys = append(sceneKeys[:i], sceneKeys[i+1:]...)
+			}
+			// Particle updates.
+			for k := 0; k < particles/40; k++ {
+				if o := pool.get(rng.Intn(particles)); o != 0 {
+					p.StoreField(o, 1, uint64(f))
+				}
+			}
+			// Particle lifecycle: expire one, respawn into free
+			// slots. The Figure 12 shared-state site: a faulty
+			// expiry frees the particle but forgets the active-set
+			// entry, and the respawner — which trusts the active
+			// set — then never reuses the slot, so the damage is
+			// systemic.
+			phase(p, "act.expireParticle", func() {
+				i := rng.Intn(particles)
+				if o := pool.get(i); o != 0 {
+					p.Free(o)
+					pool.set(i, 0)
+					if !p.Hit(faults.SharedFree) {
+						activeTab.set(i, 0)
+					}
+				}
+				for k := 0; k < 2; k++ {
+					j := rng.Intn(particles)
+					if pool.get(j) == 0 && activeTab.get(j) == 0 {
+						obj := p.AllocWords(4)
+						pool.set(j, obj)
+						activeTab.set(j, obj)
+						break
+					}
+				}
+			})
+			fxChurn.tick(rng)
+			fxChurn.tick(rng)
+			// Replay buffer drain/refill — shared-free site.
+			rp := replays[f%len(replays)]
+			rp.PopFront()
+			if rp.Len() < 4 {
+				for rp.Len() < 6 {
+					rp.Append(uint64(f))
+				}
+			}
+			// Asset metadata migration — typo site.
+			if f%9 == 4 {
+				j := 1 + rng.Intn(9)
+				props.fill(j, 3)
+				props.migrate(collector, rng.Intn(10), j)
+			}
+			negativeLeaks(p, "act", cache, &cacheNext)
+		})
+	}
+	phase(p, "act.shutdown", func() {
+		freeScratch(p, "act", scratch)
+		ds.FreeBinaryTree(p, "act.bvh", bvh)
+		for _, rp := range replays {
+			rp.FreeAll()
+		}
+		props.freeAll()
+		for i := 0; i < collector.len(); i++ {
+			if h := collector.get(i); h != 0 {
+				freeChain(p, "act", h)
+				collector.set(i, 0)
+			}
+		}
+		collector.freeAll()
+		fxTab.freeAll()
+		octree.FreeAll()
+		p.Free(activeTab.addr) // second references only
+		pool.freeAll()
+		scene.FreeAll()
+	})
+}
+
+// productivityWL models a productivity suite: a B-tree document
+// index, paragraph records in a doubly linked list, and text buffers.
+// B-tree leaf nodes plus text blobs hold "Leaves" in a mid band
+// (paper: 27.9-41.1%).
+type productivityWL struct{ base }
+
+func (w *productivityWL) Run(p *prog.Process, in Input, version int) {
+	rng := p.Rand()
+	paras := in.Scale
+	var index *ds.BTree
+	var doc *ds.DList
+	var textTab *ptrTable
+	var textChurn *churnPool
+	var undo *ds.List
+	var styles *ds.HashTable
+	var cache *ptrTable
+	cacheNext := 0
+	var scratch []uint64
+	phase(p, "prod.startup", func() {
+		index = ds.NewBTree(p, "prod.index")
+		textTab = newPtrTable(p, "prod.text", paras/2)
+		textChurn = newChurnPool(textTab, 10)
+		doc = ds.NewDList(p, "prod.doc")
+		vals := make([]uint64, paras)
+		for i := range vals {
+			vals[i] = uint64(i)
+		}
+		doc.PushBackMany(vals)
+		index.InsertMany(vals)
+		undo = ds.NewList(p, "prod.undo")
+		for i := 0; i < 20; i++ {
+			undo.PushFront(uint64(i))
+		}
+		styles = ds.NewHashTable(p, "prod.styles", 16)
+		for k := 0; k < 30; k++ {
+			styles.Put(uint64(k), uint64(k))
+		}
+		cache = newPtrTable(p, "prod.cachetab", 64)
+		scratch = scratchRoots(p, "prod", in)
+	})
+	edits := int(float64(80) * versionFactor(version))
+	for e := 0; e < edits; e++ {
+		phase(p, "prod.edit", func() {
+			// Rewrite paragraph text; the buffer population breathes
+			// with document edits.
+			textChurn.tick(rng)
+			textChurn.tick(rng)
+			// Structural edit — dlist fault site; inserts and
+			// removals alternate so the document stays its size.
+			doc.InsertAfter(doc.Head(), uint64(1000+e))
+			doc.Remove(doc.Tail())
+			// Undo stack rotation at constant depth.
+			undo.PushFront(uint64(e))
+			undo.PopFront()
+			styles.Get(uint64(rng.Intn(32)))
+			negativeLeaks(p, "prod", cache, &cacheNext)
+		})
+	}
+	phase(p, "prod.shutdown", func() {
+		freeScratch(p, "prod", scratch)
+		styles.FreeAll()
+		undo.FreeAll()
+		doc.FreeAll()
+		textTab.freeAll()
+		index.FreeAll()
+	})
+}

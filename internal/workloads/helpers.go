@@ -1,0 +1,341 @@
+package workloads
+
+import (
+	"math/rand"
+
+	"heapmd/internal/faults"
+	"heapmd/internal/prog"
+)
+
+// ptrTable is a heap-allocated array of pointer slots — the ubiquitous
+// "table of objects" idiom of real programs (transposition tables,
+// buffer pools, session tables, object stores). Objects referenced
+// from a table slot have indegree >= 1 without needing linking nodes,
+// which is what lets table-heavy workloads keep very high percentages
+// of leaf vertices.
+type ptrTable struct {
+	p    *prog.Process
+	addr uint64
+	n    int
+	name string
+}
+
+func newPtrTable(p *prog.Process, name string, n int) *ptrTable {
+	defer p.Enter(name + ".newTable")()
+	return &ptrTable{p: p, addr: p.AllocWords(n), n: n, name: name}
+}
+
+func (t *ptrTable) len() int { return t.n }
+
+func (t *ptrTable) get(i int) uint64 { return t.p.LoadField(t.addr, i) }
+
+func (t *ptrTable) set(i int, v uint64) { t.p.StoreField(t.addr, i, v) }
+
+// replace frees the object currently in slot i (if any) and stores a
+// fresh allocation of the given word count, returning its address. It
+// is a function entry (real programs wrap allocation in helpers), and
+// the free/alloc/store triple happens with no intervening entries, so
+// metric samples never observe the slot half-replaced.
+func (t *ptrTable) replace(i, words int) uint64 {
+	defer t.p.Enter(t.name + ".replace")()
+	if old := t.get(i); old != 0 {
+		t.p.Free(old)
+	}
+	obj := t.p.AllocWords(words)
+	t.set(i, obj)
+	return obj
+}
+
+// fill populates every slot with a fresh allocation of the given
+// word count inside a single function entry. Startup code uses fill
+// (rather than per-slot replace) so program initialization costs a
+// handful of metric computation points instead of thousands — the
+// simulated analogue of an initializer that builds its tables in one
+// call.
+func (t *ptrTable) fill(words int) {
+	defer t.p.Enter(t.name + ".fill")()
+	for i := 0; i < t.n; i++ {
+		if old := t.get(i); old != 0 {
+			t.p.Free(old)
+		}
+		t.set(i, t.p.AllocWords(words))
+	}
+}
+
+// fillSized is fill with a per-slot size function.
+func (t *ptrTable) fillSized(words func(i int) int) {
+	defer t.p.Enter(t.name + ".fill")()
+	for i := 0; i < t.n; i++ {
+		if old := t.get(i); old != 0 {
+			t.p.Free(old)
+		}
+		t.set(i, t.p.AllocWords(words(i)))
+	}
+}
+
+// freeAll frees every referenced object and the table itself.
+func (t *ptrTable) freeAll() {
+	for i := 0; i < t.n; i++ {
+		if o := t.get(i); o != 0 {
+			t.p.Free(o)
+			t.set(i, 0)
+		}
+	}
+	t.p.Free(t.addr)
+	t.addr = 0
+}
+
+// chain allocates a singly linked chain of length n (node layout
+// [data, next]) and returns the head. Interior nodes have outdegree
+// exactly 1 — chains are how netlist/IR-like workloads control their
+// "Outdeg=1" populations.
+func chain(p *prog.Process, name string, n int) uint64 {
+	defer p.Enter(name + ".chain")()
+	var head uint64
+	for i := 0; i < n; i++ {
+		node := p.AllocWords(2)
+		p.StoreField(node, 0, uint64(i)) // scalar payload
+		p.StoreField(node, 1, head)
+		head = node
+	}
+	return head
+}
+
+// freeChain releases a chain built by chain.
+func freeChain(p *prog.Process, name string, head uint64) {
+	defer p.Enter(name + ".freeChain")()
+	for head != 0 {
+		next := p.LoadField(head, 1)
+		p.Free(head)
+		head = next
+	}
+}
+
+// rebuildChain frees the chain in table slot i and installs a fresh
+// one of length n within a single function entry, so samples never see
+// the slot torn down but not yet rebuilt.
+func rebuildChain(t *ptrTable, i, n int) {
+	defer t.p.Enter(t.name + ".rebuild")()
+	head := t.get(i)
+	for head != 0 {
+		next := t.p.LoadField(head, 1)
+		t.p.Free(head)
+		head = next
+	}
+	var newHead uint64
+	for k := 0; k < n; k++ {
+		node := t.p.AllocWords(2)
+		t.p.StoreField(node, 0, uint64(k))
+		t.p.StoreField(node, 1, newHead)
+		newHead = node
+	}
+	t.set(i, newHead)
+}
+
+// fillChains installs a fresh chain of the given length in every slot
+// of t within one function entry (bulk netlist/IR construction).
+func fillChains(t *ptrTable, length int) {
+	defer t.p.Enter(t.name + ".fillChains")()
+	for i := 0; i < t.n; i++ {
+		var head uint64
+		for k := 0; k < length; k++ {
+			node := t.p.AllocWords(2)
+			t.p.StoreField(node, 0, uint64(k))
+			t.p.StoreField(node, 1, head)
+			head = node
+		}
+		t.set(i, head)
+	}
+}
+
+// chainLen walks a chain, returning its length (issues Load traffic).
+func chainLen(p *prog.Process, head uint64) int {
+	n := 0
+	for head != 0 {
+		head = p.LoadField(head, 1)
+		n++
+	}
+	return n
+}
+
+// propertyTable models the Figure 11 code: an array of descriptor
+// slots, each holding the head of a property-description list. Its
+// migrate operation copies a descriptor's list pointer to an output
+// list and clears the slot; under faults.TypoLeak it reads the WRONG
+// slot ("'j' should be used in place of 'i'"), so the cleared slot's
+// list is leaked.
+type propertyTable struct {
+	p     *prog.Process
+	table *ptrTable
+	name  string
+}
+
+func newPropertyTable(p *prog.Process, name string, slots int) *propertyTable {
+	return &propertyTable{p: p, table: newPtrTable(p, name, slots), name: name}
+}
+
+// fill populates slot j with a fresh property list of the given
+// length (a chain).
+func (pt *propertyTable) fill(j, listLen int) {
+	defer pt.p.Enter(pt.name + ".fill")()
+	if old := pt.table.get(j); old != 0 {
+		freeChain(pt.p, pt.name, old)
+	}
+	pt.table.set(j, chain(pt.p, pt.name, listLen))
+}
+
+// migrate moves slot j's list into the collector table at slot dst.
+// Under faults.TypoLeak the copy reads a stale index — slot 0, which
+// callers keep permanently empty — while slot j is still cleared, so
+// slot j's list becomes unreachable: the Figure 11 leak. (The paper's
+// fragment uses 'i' where 'j' was meant; modelling the stale index as
+// an always-NULL slot keeps the leak without aliasing ownership.)
+func (pt *propertyTable) migrate(collector *ptrTable, dst, j int) {
+	defer pt.p.Enter(pt.name + ".migrate")()
+	lst := pt.table.get(j)
+	if lst == 0 {
+		return
+	}
+	if old := collector.get(dst); old != 0 {
+		freeChain(pt.p, pt.name, old)
+	}
+	src := j
+	if pt.p.Hit(faults.TypoLeak) {
+		src = 0 // the typo: wrong index
+	}
+	collector.set(dst, pt.table.get(src))
+	// "pTableDesc[j].pPropDesc = NULL" — clears j regardless, so
+	// with the typo, slot j's list leaks.
+	pt.table.set(j, 0)
+}
+
+// freeAll releases all remaining lists and the table.
+func (pt *propertyTable) freeAll() {
+	defer pt.p.Enter(pt.name + ".freeAll")()
+	for i := 0; i < pt.table.len(); i++ {
+		if h := pt.table.get(i); h != 0 {
+			freeChain(pt.p, pt.name, h)
+			pt.table.set(i, 0)
+		}
+	}
+	pt.p.Free(pt.table.addr)
+}
+
+// clear frees the object in slot i (if any) and nulls the slot,
+// within one function entry.
+func (t *ptrTable) clear(i int) {
+	defer t.p.Enter(t.name + ".clear")()
+	if old := t.get(i); old != 0 {
+		t.p.Free(old)
+		t.set(i, 0)
+	}
+}
+
+// churnPool drives a ptrTable's occupancy on a slow bounded random
+// walk between lo and hi occupied slots. Real heaps breathe — the
+// number of live buffers, sessions or particles drifts a few percent
+// with load — and that breathing is what gives the paper's calibrated
+// ranges their width: a metric can be globally stable (average change
+// ~0, small deviation) while still spanning a usable [min, max] band.
+// Without it, steady-state percentages degenerate to zero-width
+// ranges and every novel input becomes a false positive.
+type churnPool struct {
+	t      *ptrTable
+	words  int
+	count  int // occupied slots (kept accurate by tick)
+	target int
+	lo, hi int
+}
+
+// newChurnPool wraps a table whose slots 0..hi-1 participate; it
+// fills to hi occupancy immediately (single entry via fill).
+func newChurnPool(t *ptrTable, words int) *churnPool {
+	cp := &churnPool{t: t, words: words, lo: t.len() * 7 / 10, hi: t.len()}
+	t.fill(words)
+	cp.count = t.len()
+	cp.target = t.len()
+	return cp
+}
+
+// tick advances the random walk: the occupancy target drifts by at
+// most one slot-step per call, and one slot is allocated, freed or
+// replaced to chase it. Every mutation is a single function entry.
+func (cp *churnPool) tick(rng *rand.Rand) {
+	step := cp.t.len() / 50
+	if step < 1 {
+		step = 1
+	}
+	cp.target += (rng.Intn(3) - 1) * step
+	if cp.target < cp.lo {
+		cp.target = cp.lo
+	}
+	if cp.target > cp.hi {
+		cp.target = cp.hi
+	}
+	switch {
+	case cp.count < cp.target:
+		// Grow: fill an empty slot.
+		for k := 0; k < 8; k++ {
+			i := rng.Intn(cp.t.len())
+			if cp.t.get(i) == 0 {
+				cp.t.replace(i, cp.words)
+				cp.count++
+				return
+			}
+		}
+	case cp.count > cp.target:
+		// Shrink: clear an occupied slot.
+		for k := 0; k < 8; k++ {
+			i := rng.Intn(cp.t.len())
+			if cp.t.get(i) != 0 {
+				cp.t.clear(i)
+				cp.count--
+				return
+			}
+		}
+	default:
+		// Steady: replace an occupied slot (turnover without
+		// occupancy change).
+		for k := 0; k < 8; k++ {
+			i := rng.Intn(cp.t.len())
+			if cp.t.get(i) != 0 {
+				cp.t.replace(i, cp.words)
+				return
+			}
+		}
+	}
+}
+
+// scratchRoots allocates a per-input-constant population of
+// unreferenced scratch objects (parse buffers, staging areas — data
+// referenced only from the stack, which the heap-graph counts as
+// roots). The count is constant within a run but input-dependent, so
+// the "Roots" metric calibrates to a band wide enough that a leak of
+// a couple of objects stays disguised while a systemic leak still
+// crosses it.
+func scratchRoots(p *prog.Process, name string, in Input) []uint64 {
+	defer p.Enter(name + ".scratch")()
+	n := 4 + 5*in.knob(2, 5) // 4..24, one level per input class
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = p.AllocWords(3)
+	}
+	return out
+}
+
+// freeScratch releases a scratchRoots population.
+func freeScratch(p *prog.Process, name string, objs []uint64) {
+	defer p.Enter(name + ".freeScratch")()
+	for _, o := range objs {
+		p.Free(o)
+	}
+}
+
+// leakObjects allocates n unreferenced objects and abandons them: the
+// primitive behind the SmallLeak (well-disguised) negative experiment.
+func leakObjects(p *prog.Process, name string, n, words int) {
+	defer p.Enter(name + ".leak")()
+	for i := 0; i < n; i++ {
+		p.AllocWords(words)
+	}
+}

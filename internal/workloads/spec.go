@@ -1,0 +1,402 @@
+package workloads
+
+import (
+	"heapmd/internal/ds"
+	"heapmd/internal/prog"
+)
+
+// The eight SPEC-2000-like workloads. Each Run comment names the real
+// program being modelled and the heap signature from the paper's
+// Figure 7(A) that the model reproduces.
+//
+// A shared discipline keeps the designated metrics *globally stable*
+// the way the real programs' heaps are: the main phase maintains a
+// steady-state heap (churn replaces objects, it does not grow
+// populations), and every multi-step mutation happens inside a single
+// function entry so metric samples — which occur exactly at function
+// entries — never observe a structure half-rebuilt.
+
+func init() {
+	register(&gzipWL{base{name: "gzip", class: SPEC, stable: "Leaves", scale: 280, spread: 160, desc: "block compressor: leaf buffer windows + Huffman tables"}})
+	register(&craftyWL{base{name: "crafty", class: SPEC, stable: "Leaves", scale: 420, spread: 250, desc: "chess engine: transposition table of leaf entries"}})
+	register(&mcfWL{base{name: "mcf", class: SPEC, stable: "Roots", scale: 140, spread: 80, desc: "network simplex: fully linked flow network, near-zero roots"}})
+	register(&vprWL{base{name: "vpr", class: SPEC, stable: "Outdeg=1", scale: 180, spread: 120, desc: "place&route: routing chains vs pad blobs, input-dependent mix"}})
+	register(&vortexWL{base{name: "vortex", class: SPEC, stable: "Indeg=1", scale: 260, spread: 160, desc: "OO database: singly referenced store objects + relations"}})
+	register(&parserWL{base{name: "parser", class: SPEC, stable: "In=Out", scale: 240, spread: 140, desc: "dictionary chains: bucket tails sit at indeg==outdeg"}})
+	register(&gccWL{base{name: "gcc", class: SPEC, stable: "Outdeg=1", scale: 160, spread: 120, desc: "compiler: per-function IR chains, size varies wildly by input"}})
+	register(&twolfWL{base{name: "twolf", class: SPEC, stable: "Outdeg=2", scale: 220, spread: 120, desc: "cell placement: every cell points at exactly two nets"}})
+}
+
+// gzipWL models gzip: block-oriented compression. The heap is
+// dominated by raw buffer objects held in a sliding window table plus
+// a long-lived Huffman table rebuilt only occasionally, so leaf
+// vertices dominate — "Leaves" is the stable metric (paper:
+// 82.9-90.2%).
+type gzipWL struct{ base }
+
+func (w *gzipWL) Run(p *prog.Process, in Input, _ int) {
+	rng := p.Rand()
+	window := in.Scale
+	// Input data determines the code-table size: deeper Huffman
+	// trees for richer inputs, spreading the leaf fraction across
+	// inputs the way the paper's Min/Max columns spread.
+	depth := 4 + in.knob(9, 3) // 4..6
+	var win *ptrTable
+	var winPool *churnPool
+	var huffman uint64
+	phase(p, "gzip.startup", func() {
+		win = newPtrTable(p, "gzip.window", window)
+		winPool = newChurnPool(win, 10)
+		huffman = ds.FullBinaryTree(p, "gzip.huffman", depth)
+	})
+	blocks := 70
+	for b := 0; b < blocks; b++ {
+		phase(p, "gzip.compressBlock", func() {
+			// Slide the window: the live-buffer population breathes
+			// with the compression ratio of the current block.
+			for i := 0; i < window/8; i++ {
+				winPool.tick(rng)
+			}
+		})
+	}
+	phase(p, "gzip.shutdown", func() {
+		ds.FreeBinaryTree(p, "gzip.huffman", huffman)
+		win.freeAll()
+	})
+}
+
+// craftyWL models crafty: a chess engine whose heap is one large
+// transposition table of small leaf entries plus a bounded
+// killer-move history list. "Leaves" is stable and very high (paper:
+// 85.3-97.1%).
+type craftyWL struct{ base }
+
+func (w *craftyWL) Run(p *prog.Process, in Input, _ int) {
+	rng := p.Rand()
+	slots := in.Scale
+	var tt *ptrTable
+	var ttPool *churnPool
+	var killers *ds.DList
+	phase(p, "crafty.startup", func() {
+		tt = newPtrTable(p, "crafty.ttable", slots)
+		ttPool = newChurnPool(tt, 3)
+		// History depth depends on the opening book in use — an
+		// input property — which spreads the leaf fraction across
+		// inputs.
+		killers = ds.NewDList(p, "crafty.killers")
+		for i := 0; i < slots/(5+in.knob(10, 10)); i++ {
+			killers.PushBack(uint64(i))
+		}
+	})
+	moves := 90
+	for m := 0; m < moves; m++ {
+		phase(p, "crafty.search", func() {
+			// Probe/replace transposition entries; table occupancy
+			// breathes with search depth.
+			for i := 0; i < slots/10; i++ {
+				if rng.Intn(3) == 0 {
+					ttPool.tick(rng)
+				} else if e := tt.get(rng.Intn(slots)); e != 0 {
+					p.Load(e) // probe hit
+				}
+			}
+			// Rotate the killer history: add the newest, retire the
+			// oldest, keeping the population constant.
+			killers.PushFront(uint64(m))
+			killers.Remove(killers.Tail())
+		})
+	}
+	phase(p, "crafty.shutdown", func() {
+		killers.FreeAll()
+		tt.freeAll()
+	})
+}
+
+// mcfWL models mcf: network-simplex flow. Nearly every object is
+// linked into the network (vertex table -> vertices -> arc lists), so
+// vertices with indegree zero are rare — "Roots" is stable near zero
+// (paper: 0-5.4%). The per-input count of unreferenced pivot
+// temporaries sets where in that band a run sits; pivots rewire
+// existing arcs rather than growing the network.
+type mcfWL struct{ base }
+
+func (w *mcfWL) Run(p *prog.Process, in Input, _ int) {
+	rng := p.Rand()
+	n := in.Scale
+	temps := 2 + 5*in.knob(3, 5) // per-class count of pivot temporaries
+	var net *ds.AdjGraph
+	roots := make([]uint64, 0, temps)
+	phase(p, "mcf.startup", func() {
+		net = ds.NewAdjGraph(p, "mcf.net", n)
+		net.Populate(3)
+		// The pivot scratch population is allocated up front and
+		// replaced (never grown) during the run, so the Roots
+		// metric is constant from the first sample.
+		for i := 0; i < temps; i++ {
+			roots = append(roots, p.AllocWords(4))
+		}
+	})
+	iters := 110
+	for it := 0; it < iters; it++ {
+		phase(p, "mcf.pivot", func() {
+			// Replace the oldest scratch object within this entry
+			// so the count is constant at every sample point.
+			if temps > 0 {
+				p.Free(roots[0])
+				roots = append(roots[1:], p.AllocWords(4))
+			}
+			net.Rewire(rng.Intn(n))
+			net.Rewire(rng.Intn(n))
+		})
+	}
+	phase(p, "mcf.shutdown", func() {
+		for _, r := range roots {
+			p.Free(r)
+		}
+		net.FreeAll()
+	})
+}
+
+// vprWL models vpr: FPGA place-and-route. The heap mixes routing
+// chains (interior nodes have outdegree exactly 1) with pad/block
+// leaf objects; the chain-to-pad ratio is strongly input-dependent,
+// giving "Outdeg=1" a wide but per-run-stable band (paper: 3.7-36.8%).
+type vprWL struct{ base }
+
+func (w *vprWL) Run(p *prog.Process, in Input, _ int) {
+	rng := p.Rand()
+	cChains := in.Scale
+	chainLenBase := 2 + in.knob(4, 2) // 2..3 per class
+	padFactor := 1 + in.knob(5, 4)    // 1..4 per class
+	var heads, pads *ptrTable
+	phase(p, "vpr.startup", func() {
+		heads = newPtrTable(p, "vpr.routes", cChains)
+		fillChains(heads, chainLenBase)
+		pads = newPtrTable(p, "vpr.pads", cChains*padFactor)
+		pads.fill(2)
+	})
+	iters := 80
+	for it := 0; it < iters; it++ {
+		phase(p, "vpr.reroute", func() {
+			for k := 0; k < cChains/12; k++ {
+				rebuildChain(heads, rng.Intn(cChains), chainLenBase)
+			}
+			pads.replace(rng.Intn(pads.len()), 2)
+		})
+	}
+	phase(p, "vpr.shutdown", func() {
+		for i := 0; i < cChains; i++ {
+			freeChain(p, "vpr.route", heads.get(i))
+			heads.set(i, 0)
+		}
+		heads.freeAll()
+		pads.freeAll()
+	})
+}
+
+// vortexWL models vortex: an object-oriented database. Most stored
+// objects are referenced exactly once from the store index; an
+// input-dependent fraction gains a second reference through relation
+// objects, setting where "Indeg=1" sits in its band (paper:
+// 37.8-69.5%).
+type vortexWL struct{ base }
+
+func (w *vortexWL) Run(p *prog.Process, in Input, _ int) {
+	rng := p.Rand()
+	n := in.Scale
+	relFrac := 25 + 5*in.knob(6, 6) // 25..50 percent, per class
+	rels := n * relFrac / 100
+	var store, relTab *ptrTable
+	phase(p, "vortex.startup", func() {
+		store = newPtrTable(p, "vortex.store", n)
+		store.fillSized(func(int) int { return 3 + rng.Intn(5) })
+		relTab = newPtrTable(p, "vortex.rels", rels)
+		for i := 0; i < rels; i++ {
+			rel := p.AllocWords(2)
+			p.StoreField(rel, 0, store.get(rng.Intn(n)))
+			p.StoreField(rel, 1, store.get(rng.Intn(n)))
+			relTab.set(i, rel)
+		}
+	})
+	txns := 200
+	for t := 0; t < txns; t++ {
+		phase(p, "vortex.txn", func() {
+			// Update object payloads in place.
+			for k := 0; k < 6; k++ {
+				if o := store.get(rng.Intn(n)); o != 0 {
+					p.StoreField(o, 0, uint64(t))
+				}
+			}
+			// Rewrite a relation endpoint.
+			if rels > 0 {
+				rel := relTab.get(rng.Intn(rels))
+				p.StoreField(rel, rng.Intn(2), store.get(rng.Intn(n)))
+			}
+			// Object churn: replace a stored object. Relations
+			// pointing at the old object dangle briefly until
+			// rewritten — vortex tolerated stale references the
+			// same way.
+			store.replace(rng.Intn(n), 3+rng.Intn(5))
+		})
+	}
+	phase(p, "vortex.shutdown", func() {
+		relTab.freeAll()
+		store.freeAll()
+	})
+}
+
+// parserWL models parser: a dictionary of chained hash entries, each
+// pointing at a definition blob. The tail entry of every occupied
+// bucket chain has indegree = outdegree = 1, and a steady pool of
+// isolated scratch objects sits at indegree = outdegree = 0, keeping
+// "In=Out" in a narrow stable band (paper: 14.2-17.7%).
+type parserWL struct{ base }
+
+func (w *parserWL) Run(p *prog.Process, in Input, _ int) {
+	rng := p.Rand()
+	words := in.Scale
+	var dict *ds.HashTable
+	scratch := make([]uint64, 0, 32)
+	phase(p, "parser.startup", func() {
+		dict = ds.NewHashTable(p, "parser.dict", words/4)
+		for k := 0; k < words; k++ {
+			def := p.AllocWords(3)
+			dict.Put(uint64(k), def)
+		}
+		for i := 0; i < 30; i++ {
+			scratch = append(scratch, p.AllocWords(2))
+		}
+	})
+	sentences := 220
+	for s := 0; s < sentences; s++ {
+		phase(p, "parser.sentence", func() {
+			// Dictionary lookups.
+			for k := 0; k < 8; k++ {
+				dict.Get(uint64(rng.Intn(words)))
+			}
+			// Refresh one definition: free the old blob, bind a new
+			// one, within this entry.
+			key := uint64(rng.Intn(words))
+			if old, ok := dict.Get(key); ok && old != 0 {
+				p.Free(old)
+			}
+			dict.Put(key, p.AllocWords(3))
+			// Rotate the isolated scratch pool.
+			p.Free(scratch[0])
+			scratch = append(scratch[1:], p.AllocWords(2))
+		})
+	}
+	phase(p, "parser.shutdown", func() {
+		for _, o := range scratch {
+			p.Free(o)
+		}
+		for k := 0; k < words; k++ {
+			if def, ok := dict.Get(uint64(k)); ok && def != 0 {
+				p.Free(def)
+			}
+		}
+		dict.FreeAll()
+	})
+}
+
+// gccWL models gcc: per-function IR built from basic-block chains and
+// expression trees, with strongly input-dependent function sizes. The
+// chain population keeps "Outdeg=1" stable per input but spread wide
+// across inputs (paper: 8.7-37.1%). The IR grows through the run, but
+// proportionally (constant mix), so the percentages hold.
+type gccWL struct{ base }
+
+func (w *gccWL) Run(p *prog.Process, in Input, _ int) {
+	rng := p.Rand()
+	fns := in.Scale
+	meanChain := 2 + in.knob(7, 6) // 2..7 per class
+	var symtab *ds.HashTable
+	var irTab, exprTab *ptrTable
+	phase(p, "gcc.startup", func() {
+		symtab = ds.NewHashTable(p, "gcc.symtab", 64)
+		irTab = newPtrTable(p, "gcc.ir", fns)
+		exprTab = newPtrTable(p, "gcc.exprs", fns/4+1)
+	})
+	for f := 0; f < fns; f++ {
+		phase(p, "gcc.compileFunction", func() {
+			// Basic-block chain for this function; the whole
+			// translation unit's IR stays live until shutdown.
+			rebuildChain(irTab, f, 1+rng.Intn(2*meanChain))
+			symtab.Put(uint64(f), uint64(f*3))
+			// Every 4th function keeps a constant-folded expression
+			// tree in the IR as well.
+			if f%4 == 0 {
+				slot := f / 4
+				if old := exprTab.get(slot); old != 0 {
+					ds.FreeBinaryTree(p, "gcc.expr", old)
+				}
+				exprTab.set(slot, ds.FullBinaryTree(p, "gcc.expr", 2))
+			}
+		})
+	}
+	phase(p, "gcc.shutdown", func() {
+		for i := 0; i < fns; i++ {
+			if h := irTab.get(i); h != 0 {
+				freeChain(p, "gcc.bb", h)
+				irTab.set(i, 0)
+			}
+		}
+		for i := 0; i < exprTab.len(); i++ {
+			if t := exprTab.get(i); t != 0 {
+				ds.FreeBinaryTree(p, "gcc.expr", t)
+				exprTab.set(i, 0)
+			}
+		}
+		irTab.freeAll()
+		exprTab.freeAll()
+		symtab.FreeAll()
+	})
+}
+
+// twolfWL models twolf: standard-cell placement. Cell objects point
+// at exactly two net objects (outdegree 2); nets and pad blobs are
+// leaves. The cell fraction of the heap pins "Outdeg=2" (paper:
+// 26.4-32.3%).
+type twolfWL struct{ base }
+
+func (w *twolfWL) Run(p *prog.Process, in Input, _ int) {
+	rng := p.Rand()
+	cells := in.Scale
+	nets := cells * 3 / 2
+	padsN := cells*2/3 + cells/8*in.knob(8, 5)
+	var cellTab, netTab, padTab *ptrTable
+	var padPool *churnPool
+	phase(p, "twolf.startup", func() {
+		netTab = newPtrTable(p, "twolf.nets", nets)
+		netTab.fill(2)
+		cellTab = newPtrTable(p, "twolf.cells", cells)
+		for i := 0; i < cells; i++ {
+			c := p.AllocWords(3)
+			p.StoreField(c, 0, netTab.get(rng.Intn(nets)))
+			p.StoreField(c, 1, netTab.get(rng.Intn(nets)))
+			p.StoreField(c, 2, uint64(i)) // placement coordinate
+			cellTab.set(i, c)
+		}
+		padTab = newPtrTable(p, "twolf.pads", padsN)
+		padPool = newChurnPool(padTab, 2)
+	})
+	sweeps := 75
+	for s := 0; s < sweeps; s++ {
+		padPool.tick(rng)
+		padPool.tick(rng)
+		for k := 0; k < cells/12; k++ {
+			// Each swap is its own function entry, as the real
+			// annealer's per-move helpers are.
+			phase(p, "twolf.trySwap", func() {
+				c := cellTab.get(rng.Intn(cells))
+				p.StoreField(c, rng.Intn(2), netTab.get(rng.Intn(nets)))
+				p.StoreField(c, 2, uint64(s))
+			})
+		}
+	}
+	phase(p, "twolf.shutdown", func() {
+		cellTab.freeAll()
+		netTab.freeAll()
+		padTab.freeAll()
+	})
+}
