@@ -9,6 +9,7 @@
 //	heapmd list
 //	heapmd train -workload gzip -inputs 25 -o gzip.model
 //	heapmd check -workload gzip -model gzip.model [-fault dlist-missing-prev[:prob]] [-inputs 5]
+//	heapmd replay -trace run.trace [-model gzip.model] [-salvage]
 //	heapmd plot  -workload vpr -metric Outdeg=1 [-model vpr.model] [-fault ...]
 //	heapmd faults
 package main
@@ -43,6 +44,8 @@ func main() {
 		err = cmdTrain(os.Args[2:])
 	case "check":
 		err = cmdCheck(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
 	case "plot":
 		err = cmdPlot(os.Args[2:])
 	case "-h", "--help", "help":
@@ -63,6 +66,7 @@ func usage() {
   heapmd faults                                  list injectable faults
   heapmd train -workload W [-inputs N] -o FILE   build a model from clean runs
   heapmd check -workload W -model FILE [flags]   check held-out runs
+  heapmd replay -trace FILE [flags]              ingest a recorded trace (crash-safe)
   heapmd plot  -workload W -metric M [flags]     plot a metric trajectory`)
 }
 
@@ -205,12 +209,15 @@ func cmdCheck(args []string) error {
 		findings := detect.CheckReport(mdl, rep, detect.Options{})
 		if len(findings) == 0 {
 			fmt.Printf("%s: clean\n", in.Name)
-			continue
+		} else {
+			total += len(findings)
+			fmt.Printf("%s: %d findings\n", in.Name, len(findings))
+			for _, fd := range findings {
+				fmt.Printf("  %s\n", fd.Describe(p.Sym()))
+			}
 		}
-		total += len(findings)
-		fmt.Printf("%s: %d findings\n", in.Name, len(findings))
-		for _, fd := range findings {
-			fmt.Printf("  %s\n", fd.Describe(p.Sym()))
+		if h := rep.Health; !h.Zero() {
+			fmt.Printf("  instrumentation health: %s\n", h.String())
 		}
 	}
 	fmt.Printf("total findings: %d\n", total)

@@ -1,0 +1,131 @@
+// The replay subcommand ingests a recorded trace file: the paper's
+// post-mortem usage mode, hardened for production operation. Reads
+// are retried with bounded exponential backoff (traces often live on
+// network filesystems), and -salvage recovers the longest valid
+// prefix of a trace left truncated or corrupted by a crashed run.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"heapmd"
+	"heapmd/internal/model"
+)
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "trace file recorded with heapmd.RecordTrace")
+	modelPath := fs.String("model", "", "optional model file: check the replayed report against it")
+	salvage := fs.Bool("salvage", false, "recover the longest valid prefix of a damaged trace")
+	freq := fs.Uint64("freq", 0, "sampling frequency; must match the recording (0 = simulation default)")
+	retries := fs.Int("retries", 3, "max retries per read/seek on transient I/O errors")
+	program := fs.String("program", "replayed", "program name recorded in the report")
+	input := fs.String("input", "trace", "input name recorded in the report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *tracePath == "" {
+		return errors.New("replay: -trace is required")
+	}
+	f, err := os.Open(*tracePath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rr := &retryReader{r: f, maxRetries: *retries, backoff: 50 * time.Millisecond}
+
+	rep, sym, info, err := heapmd.ReplayTraceWith(rr, *program, *input, heapmd.ReplayOptions{
+		Frequency: *freq,
+		Salvage:   *salvage,
+	})
+	if err != nil {
+		if *salvage {
+			return fmt.Errorf("unsalvageable trace: %w", err)
+		}
+		return fmt.Errorf("%w (rerun with -salvage to recover a damaged trace)", err)
+	}
+	fmt.Printf("replayed %d events (%d snapshots, %d symbols) from %s\n",
+		info.EventsRecovered, len(rep.Snapshots), sym.Len(), *tracePath)
+	if info.Salvaged() {
+		fmt.Printf("salvage: %s\n", info)
+	}
+	if rr.retried > 0 {
+		fmt.Printf("transient read errors retried: %d\n", rr.retried)
+	}
+	if h := rep.Health; !h.Zero() {
+		fmt.Printf("instrumentation health: %s\n", h.String())
+	}
+	if *modelPath == "" {
+		return nil
+	}
+	mf, err := os.Open(*modelPath)
+	if err != nil {
+		return err
+	}
+	mdl, err := model.Load(mf)
+	mf.Close()
+	if err != nil {
+		return err
+	}
+	findings := heapmd.Check(mdl, rep)
+	if len(findings) == 0 {
+		fmt.Println("check: clean")
+		return nil
+	}
+	fmt.Printf("check: %d findings\n", len(findings))
+	for _, fd := range findings {
+		fmt.Printf("  %s\n", fd.Describe(sym))
+	}
+	return nil
+}
+
+// retryReader wraps an io.ReadSeeker with bounded retry and
+// exponential backoff on transient errors. EOF conditions are data,
+// not faults — salvage handles those — so they pass through
+// untouched; everything else (a flaky NFS mount, a device hiccup)
+// gets maxRetries further attempts per call.
+type retryReader struct {
+	r          io.ReadSeeker
+	maxRetries int
+	backoff    time.Duration
+	retried    int // total transient errors retried, for reporting
+}
+
+func transient(err error) bool {
+	return err != nil && err != io.EOF && !errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+func (rr *retryReader) Read(p []byte) (int, error) {
+	var n int
+	var err error
+	delay := rr.backoff
+	for attempt := 0; ; attempt++ {
+		n, err = rr.r.Read(p)
+		if n > 0 || !transient(err) || attempt >= rr.maxRetries {
+			return n, err
+		}
+		rr.retried++
+		time.Sleep(delay)
+		delay *= 2
+	}
+}
+
+func (rr *retryReader) Seek(offset int64, whence int) (int64, error) {
+	var pos int64
+	var err error
+	delay := rr.backoff
+	for attempt := 0; ; attempt++ {
+		pos, err = rr.r.Seek(offset, whence)
+		if !transient(err) || attempt >= rr.maxRetries {
+			return pos, err
+		}
+		rr.retried++
+		time.Sleep(delay)
+		delay *= 2
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"heapmd/internal/detect"
 	"heapmd/internal/event"
 	"heapmd/internal/faults"
+	"heapmd/internal/health"
 	"heapmd/internal/logger"
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
@@ -89,7 +90,21 @@ type (
 
 	// Symtab resolves function IDs in findings and traces.
 	Symtab = event.Symtab
+
+	// HealthCounters tallies instrumentation the logger observed but
+	// could not interpret (double frees, wild stores, ...); carried
+	// in every Report and checked by the detector.
+	HealthCounters = health.Counters
+
+	// SalvageInfo describes what trace salvage recovered from a
+	// damaged trace.
+	SalvageInfo = trace.SalvageInfo
 )
+
+// SimulationFrequency is the default sampling frequency for simulated
+// runs and trace replay; see logger.SimulationFrequency for why it
+// differs from the paper's frq = 1/100,000.
+const SimulationFrequency = logger.SimulationFrequency
 
 // The paper's seven degree-based metrics.
 const (
@@ -154,7 +169,7 @@ func (s *Session) newRun(program, input string, seed int64, plan *FaultPlan) *Ru
 	}
 	freq := s.opts.Frequency
 	if freq == 0 {
-		freq = 16
+		freq = logger.SimulationFrequency
 	}
 	l := logger.New(logger.Options{Frequency: freq, Granularity: gran})
 	l.SetRun(program, input, 1)
@@ -180,17 +195,45 @@ func (s *Session) AddTraining(r *Run) { s.reports = append(s.reports, r.Report()
 func (s *Session) AddReport(rep *Report) { s.reports = append(s.reports, rep) }
 
 // Build runs the metric summarizer over the training reports and
-// returns the model with its classification evidence.
+// returns the model with its classification evidence. Each zero
+// threshold field is defaulted individually, so a caller overriding
+// only (say) TrimFrac or MinStableFraction keeps the paper defaults
+// for everything else instead of having the overrides silently
+// replaced wholesale.
 func (s *Session) Build() (*Model, *BuildResult, error) {
-	th := s.opts.Thresholds
-	if th.MaxAvgChange == 0 && th.MaxStdDev == 0 {
-		th = model.Defaults()
-	}
-	res, err := model.Build(s.reports, th)
+	res, err := model.Build(s.reports, fillThresholds(s.opts.Thresholds))
 	if err != nil {
 		return nil, nil, err
 	}
 	return res.Model, res, nil
+}
+
+// fillThresholds replaces each zero field of th with the paper
+// default for that field, preserving the fields the caller did set.
+// Zero is treated as "unset" throughout (a MaxAvgChange of 0 would
+// classify every metric unstable, so no meaningful configuration is
+// lost).
+func fillThresholds(th Thresholds) Thresholds {
+	def := model.Defaults()
+	if th.MaxAvgChange == 0 {
+		th.MaxAvgChange = def.MaxAvgChange
+	}
+	if th.MaxStdDev == 0 {
+		th.MaxStdDev = def.MaxStdDev
+	}
+	if th.TrimFrac == 0 {
+		th.TrimFrac = def.TrimFrac
+	}
+	if th.MinStableFraction == 0 {
+		th.MinStableFraction = def.MinStableFraction
+	}
+	if th.MinSamples == 0 {
+		th.MinSamples = def.MinSamples
+	}
+	if th.GuardFrac == 0 {
+		th.GuardFrac = def.GuardFrac
+	}
+	return th
 }
 
 // Check performs offline checking of a report against a model and
@@ -214,32 +257,74 @@ func SaveModel(m *Model, w io.Writer) error { return m.Save(w) }
 func LoadModel(r io.Reader) (*Model, error) { return model.Load(r) }
 
 // RecordTrace attaches a trace writer to a run so its event stream
-// can be replayed later (post-mortem analysis). Call the returned
-// close function (with the run's symbol table) after execution.
+// can be replayed later (post-mortem analysis). The writer is handed
+// the run's symbol table up front, so the v2 format checkpoints it
+// periodically and a run that crashes before the returned close
+// function runs still leaves a salvageable, symbolized trace. Call
+// the close function after execution for a cleanly-terminated trace.
 func RecordTrace(r *Run, w io.Writer) (func() error, error) {
 	tw, err := trace.NewWriter(w)
 	if err != nil {
 		return nil, err
 	}
+	tw.SetSymtab(r.process.Sym())
 	r.process.Subscribe(tw)
 	return func() error { return tw.Close(r.process.Sym()) }, nil
 }
 
-// ReplayTrace replays a recorded trace into a fresh logger (sampling
-// every frequency-th function entry, which must match the recording
-// session's frequency for comparable reports; 0 means the session
-// default) and returns the reconstructed report.
+// ReplayOptions configures trace ingestion.
+type ReplayOptions struct {
+	// Frequency samples metrics every Frequency-th function entry;
+	// it must match the recording session's frequency for comparable
+	// reports. 0 means SimulationFrequency, the session default.
+	Frequency uint64
+	// Salvage recovers the longest valid prefix of a truncated or
+	// corrupted trace instead of failing; the loss is described in
+	// the returned SalvageInfo and tallied in the report's health
+	// counters.
+	Salvage bool
+}
+
+// ReplayTrace replays a recorded trace into a fresh logger and
+// returns the reconstructed report; see ReplayOptions.Frequency.
 func ReplayTrace(rd io.ReadSeeker, program, input string, frequency uint64) (*Report, *Symtab, error) {
-	if frequency == 0 {
-		frequency = 16
+	rep, sym, _, err := ReplayTraceWith(rd, program, input, ReplayOptions{Frequency: frequency})
+	return rep, sym, err
+}
+
+// ReplayTraceWith replays a recorded trace into a fresh logger with
+// full control over ingestion. With Salvage set, a damaged trace
+// yields the report reconstructed from its longest valid prefix plus
+// a SalvageInfo describing the loss; without it, damage yields an
+// error wrapping trace.ErrCorrupt.
+func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions) (*Report, *Symtab, *SalvageInfo, error) {
+	freq := opts.Frequency
+	if freq == 0 {
+		freq = logger.SimulationFrequency
 	}
-	l := logger.New(logger.Options{Frequency: frequency})
+	l := logger.New(logger.Options{Frequency: freq})
 	l.SetRun(program, input, 1)
-	sym, _, err := trace.Replay(rd, l)
-	if err != nil {
-		return nil, nil, err
+	var (
+		sym  *Symtab
+		info *SalvageInfo
+		err  error
+	)
+	if opts.Salvage {
+		sym, info, err = trace.Salvage(rd, l)
+	} else {
+		var n uint64
+		sym, n, err = trace.Replay(rd, l)
+		info = &SalvageInfo{EventsRecovered: n}
 	}
-	return l.Report(), sym, nil
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	if info.Salvaged() {
+		h := l.Health()
+		h.SalvagedGaps++
+		h.SalvagedBytes += info.BytesDropped
+	}
+	return l.Report(), sym, info, nil
 }
 
 // NewFaultPlan returns an empty fault-injection plan; see package

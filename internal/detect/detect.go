@@ -27,6 +27,7 @@ import (
 
 	"heapmd/internal/callstack"
 	"heapmd/internal/event"
+	"heapmd/internal/health"
 	"heapmd/internal/logger"
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
@@ -46,6 +47,13 @@ const (
 	// UnexpectedStability flags a training-time-unstable metric that
 	// held a stable value during checking ("pathological").
 	UnexpectedStability
+	// InstrumentationAnomaly flags an instrumentation-health counter
+	// above its threshold: the logger observed events it could not
+	// apply to the heap image (double frees, wild stores, ...).
+	// These are direct evidence of the corruption bugs in the
+	// paper's taxonomy, reported even when every degree metric
+	// stayed in band.
+	InstrumentationAnomaly
 )
 
 func (k Kind) String() string {
@@ -56,6 +64,8 @@ func (k Kind) String() string {
 		return "extreme-stability"
 	case UnexpectedStability:
 		return "unexpected-stability"
+	case InstrumentationAnomaly:
+		return "instrumentation-anomaly"
 	default:
 		return fmt.Sprintf("detect.Kind(%d)", int(k))
 	}
@@ -103,6 +113,11 @@ type Finding struct {
 // Describe renders the finding with symbolized stacks.
 func (f *Finding) Describe(sym *event.Symtab) string {
 	var b strings.Builder
+	if f.Kind == InstrumentationAnomaly {
+		fmt.Fprintf(&b, "[%s] counter=%s count=%.0f threshold=%.0f",
+			f.Kind, f.Metric, f.Value, f.Range.Max)
+		return b.String()
+	}
 	fmt.Fprintf(&b, "[%s] metric=%s %s at tick %d: value=%.2f calibrated=[%.2f, %.2f]",
 		f.Kind, f.Metric, f.Direction, f.Tick, f.Value, f.Range.Min, f.Range.Max)
 	if f.Recurrences > 0 {
@@ -137,6 +152,10 @@ type Options struct {
 	// startup transient. Offline checking (CheckReport) derives it
 	// from the model's TrimFrac instead.
 	SkipStart int
+	// Health bounds the instrumentation-health counters; counts
+	// above a bound become InstrumentationAnomaly findings. Nil
+	// means health.DefaultThresholds().
+	Health *health.Thresholds
 }
 
 func (o Options) withDefaults() Options {
@@ -411,6 +430,29 @@ func (d *Detector) CheckUnstable(rep *logger.Report) {
 	}
 }
 
+// CheckHealth evaluates the instrumentation-health counters of a run
+// against the detector's thresholds and reports each excess as an
+// InstrumentationAnomaly finding. The counters are themselves bug
+// evidence: a double free or a spike in wild stores is a corruption
+// bug from the paper's taxonomy even when every degree metric stayed
+// inside its calibrated range.
+func (d *Detector) CheckHealth(c health.Counters) {
+	th := d.opts.Health
+	if th == nil {
+		def := health.DefaultThresholds()
+		th = &def
+	}
+	for _, ex := range th.Exceeded(c) {
+		d.findings = append(d.findings, &Finding{
+			Kind:      InstrumentationAnomaly,
+			Metric:    ex.Counter,
+			Direction: AboveMax,
+			Value:     float64(ex.Count),
+			Range:     stats.Range{Min: 0, Max: float64(ex.Threshold)},
+		})
+	}
+}
+
 // Findings returns all findings reported so far, in detection order.
 func (d *Detector) Findings() []*Finding { return d.findings }
 
@@ -444,6 +486,7 @@ func CheckReport(mdl *model.Model, rep *logger.Report, opts Options) []*Finding 
 	}
 	d.Finish()
 	d.CheckUnstable(rep)
+	d.CheckHealth(rep.Health)
 	return d.Findings()
 }
 

@@ -42,6 +42,14 @@ const (
 	Leave
 )
 
+// NumTypes is the number of defined event types.
+const NumTypes = 7
+
+// Known reports whether t is a defined event type. Trace replay and
+// the execution logger use it to route corrupted or version-skewed
+// records into health accounting instead of misinterpreting them.
+func (t Type) Known() bool { return t < NumTypes }
+
 // String returns the mnemonic name of the event type.
 func (t Type) String() string {
 	switch t {
@@ -109,15 +117,22 @@ func (m Multi) Emit(e Event) {
 }
 
 // Counter is a Sink that tallies events by type; useful in tests and
-// for run statistics.
+// for run statistics. Events with an out-of-range type byte (possible
+// when counting a damaged trace) land in Unknown rather than
+// panicking.
 type Counter struct {
-	ByType [7]uint64
-	Total  uint64
+	ByType  [NumTypes]uint64
+	Unknown uint64
+	Total   uint64
 }
 
 // Emit implements Sink.
 func (c *Counter) Emit(e Event) {
-	c.ByType[e.Type]++
+	if e.Type.Known() {
+		c.ByType[e.Type]++
+	} else {
+		c.Unknown++
+	}
 	c.Total++
 }
 

@@ -25,6 +25,7 @@ import (
 
 	"heapmd/internal/callstack"
 	"heapmd/internal/event"
+	"heapmd/internal/health"
 	"heapmd/internal/heapgraph"
 	"heapmd/internal/intervals"
 	"heapmd/internal/metrics"
@@ -57,6 +58,18 @@ func (g Granularity) String() string {
 // DefaultFrequency is the paper's sampling frequency: one metric
 // computation per 100,000 function entries.
 const DefaultFrequency = 100000
+
+// SimulationFrequency is the sampling frequency for the simulated
+// workloads and trace replay (one metric computation per 16 function
+// entries). It differs from the paper's frq = 1/100,000 because the
+// paper instruments real x86 binaries that execute hundreds of
+// millions of function entries per run, while the simulated workloads
+// here generate only thousands; both settings yield a few hundred
+// metric computation points per run, which is what the summarizer
+// and detector actually need. Every simulation-side default
+// (Session.NewRun, ReplayTrace, the workload harness) derives from
+// this one constant so recorded and replayed reports stay comparable.
+const SimulationFrequency = 16
 
 // Options configures a Logger.
 type Options struct {
@@ -108,6 +121,11 @@ type Report struct {
 	FnEntries uint64 `json:"fn_entries"`
 	// Events is the total number of events consumed.
 	Events uint64 `json:"events"`
+	// Health tallies instrumentation the logger observed but could
+	// not apply to the heap image — double frees, wild stores and
+	// friends. These drops are bug evidence in their own right; the
+	// detector raises InstrumentationAnomaly findings from them.
+	Health health.Counters `json:"health"`
 }
 
 // Series extracts the value series of the named metric from the
@@ -145,8 +163,15 @@ type Logger struct {
 	events    uint64
 	tick      uint64 // metric computation points taken so far
 
-	snaps     []metrics.Snapshot
-	observers []SampleObserver
+	// freed remembers base addresses that were live and then freed
+	// (and not since recycled), so a miss in onFree can be
+	// classified as a double free rather than a wild free.
+	freed  map[uint64]struct{}
+	health health.Counters
+
+	snaps       []metrics.Snapshot
+	observers   []SampleObserver
+	quarantined []SampleObserver
 
 	program string
 	input   string
@@ -167,6 +192,7 @@ func New(opts Options) *Logger {
 		graph:   heapgraph.New(),
 		objects: intervals.New[*objInfo](),
 		stack:   callstack.NewTracker(),
+		freed:   make(map[uint64]struct{}),
 	}
 }
 
@@ -187,6 +213,14 @@ func (l *Logger) Stack() *callstack.Tracker { return l.stack }
 
 // Suite returns the metric suite in use.
 func (l *Logger) Suite() metrics.Suite { return l.suite }
+
+// Health exposes the logger's instrumentation-health counters. The
+// returned pointer is live: trace ingestion uses it to record salvage
+// gaps, and the counters are copied into the Report.
+func (l *Logger) Health() *health.Counters { return &l.health }
+
+// Quarantined returns the observers removed after panicking.
+func (l *Logger) Quarantined() []SampleObserver { return l.quarantined }
 
 // Emit implements event.Sink.
 func (l *Logger) Emit(e event.Event) {
@@ -210,6 +244,11 @@ func (l *Logger) Emit(e event.Event) {
 		}
 	case event.Leave:
 		l.stack.Leave()
+	default:
+		// Unknown type byte: version skew or a damaged trace that
+		// still checksummed (v1 has no checksums at all). Count it;
+		// a spike means the stream itself is suspect.
+		l.health.UnknownEvents++
 	}
 }
 
@@ -233,13 +272,21 @@ func (l *Logger) onAlloc(base, size uint64) {
 		l.graph.AddVertex(info.vertex)
 	}
 	l.objects.Insert(base, size, info)
+	delete(l.freed, base) // address recycled: a future free is legitimate
 }
 
 func (l *Logger) onFree(base uint64) {
 	info, ok := l.objects.Get(base)
 	if !ok {
-		return // double free or wild free: nothing in the image
+		// Nothing in the image — but that absence is evidence.
+		if _, was := l.freed[base]; was {
+			l.health.DoubleFrees++
+		} else {
+			l.health.WildFrees++
+		}
+		return
 	}
+	l.freed[base] = struct{}{}
 	l.objects.Remove(base)
 	if info.wordVertices != nil {
 		for _, v := range info.wordVertices {
@@ -253,9 +300,15 @@ func (l *Logger) onFree(base uint64) {
 func (l *Logger) onRealloc(oldBase, newBase, newSize uint64) {
 	info, ok := l.objects.Get(oldBase)
 	if !ok {
+		// Realloc of a freed, never-allocated or interior address.
+		l.health.BadReallocs++
 		return
 	}
 	l.objects.Remove(oldBase)
+	if newBase != oldBase {
+		l.freed[oldBase] = struct{}{} // the old placement is released
+	}
+	delete(l.freed, newBase)
 	if info.wordVertices != nil {
 		l.reallocField(info, oldBase, newBase, newSize)
 		return
@@ -328,7 +381,10 @@ func (l *Logger) targetVertex(value uint64) (heapgraph.VertexID, bool) {
 func (l *Logger) onStore(addr, value uint64) {
 	_, _, info, ok := l.objects.Stab(addr)
 	if !ok {
-		return // wild store: not part of the live heap image
+		// Wild store: not part of the live heap image. The write is
+		// dropped, but its existence is a corruption signal.
+		l.health.WildStores++
+		return
 	}
 	src := l.sourceVertex(info, addr)
 	// Retire the slot's previous edge, if any.
@@ -343,13 +399,36 @@ func (l *Logger) onStore(addr, value uint64) {
 	}
 }
 
+// sample computes a metric snapshot and dispatches it to observers.
+// A panicking observer is quarantined — removed from the dispatch
+// list and tallied in the health counters — rather than being allowed
+// to kill the monitored run: HeapMD exists to watch buggy programs,
+// and one faulty diagnostic attachment must not end the diagnosis.
 func (l *Logger) sample() {
 	l.tick++
 	snap := l.suite.Compute(l.graph, l.tick)
 	l.snaps = append(l.snaps, snap)
-	for _, o := range l.observers {
-		o.Sample(snap, l.stack)
+	for i := 0; i < len(l.observers); i++ {
+		if l.dispatch(l.observers[i], snap) {
+			continue
+		}
+		l.health.ObserverPanics++
+		l.quarantined = append(l.quarantined, l.observers[i])
+		l.observers = append(l.observers[:i], l.observers[i+1:]...)
+		i--
 	}
+}
+
+// dispatch delivers one sample to one observer, converting a panic
+// into a false return.
+func (l *Logger) dispatch(o SampleObserver, snap metrics.Snapshot) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	o.Sample(snap, l.stack)
+	return true
 }
 
 // Ticks returns the number of metric computation points sampled.
@@ -369,6 +448,7 @@ func (l *Logger) Report() *Report {
 		Snapshots: l.snaps,
 		FnEntries: l.fnEntries,
 		Events:    l.events,
+		Health:    l.health,
 	}
 }
 

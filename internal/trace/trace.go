@@ -5,17 +5,38 @@
 // trace information and avoids perturbing the monitored program beyond
 // the cost of logging.
 //
-// Format (all integers little-endian):
+// Because HeapMD runs against *buggy* programs, the trace is written
+// by a process that may crash, corrupt its own output, or be killed
+// mid-run. Format v2 is therefore crash-safe: events travel in framed
+// record batches, each frame carrying a CRC32 over its payload, and
+// the symbol table is checkpointed periodically instead of living
+// only in an end-of-file trailer. Replay of a truncated or corrupted
+// v2 trace can salvage every complete, checksum-valid frame before
+// the damage (see Salvage and SalvageInfo) instead of failing
+// wholesale.
 //
-//	header:  magic "HMDT" | version u32
-//	events:  n records of 37 bytes each:
+// Format v2 (all integers little-endian):
+//
+//	header:  magic "HMDT" | version u32 (=2)
+//	frames:  kind u8 | payloadLen u32 | crc32(payload) u32 | payload
+//	  kind 1 (events): payload is n records of 37 bytes each:
 //	         type u8 | fn u32 | addr u64 | value u64 | old u64 | size u64
+//	  kind 2 (symtab): full symbol-table snapshot:
+//	         count u32, then count length-prefixed names.
+//	         Later checkpoints supersede earlier ones.
+//	  kind 3 (end): eventCount u64 — marks a clean close.
+//
+// Format v1 (still readable; written by NewWriterV1):
+//
+//	header:  magic "HMDT" | version u32 (=1)
+//	events:  n records of 37 bytes each (as above, unframed)
 //	trailer: symtab (count u32, then count length-prefixed names)
 //	         | symtabLen u64 | eventCount u64 | magic "TDMH"
 //
-// The symbol table is written as a trailer because it is only complete
-// once the run finishes interning function names; Replay locates it by
-// seeking to the end.
+// v1 keeps the symbol table solely in the trailer, so a run that
+// crashes before Close loses it — and, because nothing in the body is
+// checksummed, the best v1 salvage can do is reinterpret the bytes
+// after the header as records.
 package trace
 
 import (
@@ -23,6 +44,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"heapmd/internal/event"
@@ -33,39 +55,526 @@ var (
 	trailerMagic = [4]byte{'T', 'D', 'M', 'H'}
 )
 
-// Version is the trace format version.
-const Version uint32 = 1
+// Version is the current (v2, crash-safe) trace format version.
+const Version uint32 = 2
+
+// VersionV1 is the legacy trailer-based format, still readable.
+const VersionV1 uint32 = 1
 
 const recordSize = 1 + 4 + 8 + 8 + 8 + 8
+
+// Frame kinds (v2).
+const (
+	frameEvents byte = 1
+	frameSymtab byte = 2
+	frameEnd    byte = 3
+)
+
+const frameHeaderSize = 1 + 4 + 4
+
+// maxFramePayload bounds a single frame so that a corrupted length
+// field cannot demand a multi-gigabyte allocation.
+const maxFramePayload = 1 << 24
+
+// DefaultBatchRecords is how many event records accumulate before the
+// Writer seals them into a checksummed frame. Larger batches amortize
+// frame overhead; smaller batches lose less data when the monitored
+// process dies mid-batch.
+const DefaultBatchRecords = 512
+
+// DefaultCheckpointFrames is how many event frames elapse between
+// symbol-table checkpoints (when the Writer has a symtab attached).
+const DefaultCheckpointFrames = 8
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrCorrupt indicates a malformed trace file.
 var ErrCorrupt = errors.New("trace: corrupt trace")
 
-// Writer streams events to an underlying writer. It implements
-// event.Sink; I/O errors are sticky and surfaced by Close.
+// SalvageInfo describes what salvage recovered from a damaged trace.
+// A clean replay yields the zero value (Truncated false, nothing
+// dropped).
+type SalvageInfo struct {
+	// EventsRecovered is the number of events delivered to the sink.
+	EventsRecovered uint64
+	// BytesDropped is the size of the unreadable region that salvage
+	// skipped (always a suffix: salvage keeps the longest valid
+	// prefix).
+	BytesDropped uint64
+	// Truncated reports that the trace did not end cleanly — the v2
+	// end frame (or v1 trailer) was missing or damaged, typically
+	// because the monitored process crashed mid-run.
+	Truncated bool
+}
+
+// Salvaged reports whether anything was lost.
+func (s *SalvageInfo) Salvaged() bool { return s.Truncated || s.BytesDropped > 0 }
+
+func (s *SalvageInfo) String() string {
+	if !s.Salvaged() {
+		return "clean"
+	}
+	return fmt.Sprintf("salvaged %d events, dropped %d bytes (truncated=%v)",
+		s.EventsRecovered, s.BytesDropped, s.Truncated)
+}
+
+// Writer streams events to an underlying writer in format v2. It
+// implements event.Sink; I/O errors are sticky and surfaced by Close.
+//
+// Events accumulate into record batches that are sealed into CRC32-
+// framed chunks every DefaultBatchRecords events; if the process dies
+// between batches, everything already framed remains salvageable.
+// Attach the run's symbol table with SetSymtab to also checkpoint it
+// periodically, so function names survive a crash too.
 type Writer struct {
+	w      *bufio.Writer
+	n      uint64 // events emitted
+	err    error
+	batch  []byte // pending, not-yet-framed records
+	frames int    // event frames since the last symtab checkpoint
+	sym    *event.Symtab
+}
+
+// NewWriter writes the v2 header and returns a Writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := writeHeader(bw, Version); err != nil {
+		return nil, err
+	}
+	return &Writer{
+		w:     bw,
+		batch: make([]byte, 0, DefaultBatchRecords*recordSize),
+	}, nil
+}
+
+func writeHeader(w io.Writer, version uint32) error {
+	if _, err := w.Write(headerMagic[:]); err != nil {
+		return err
+	}
+	var v [4]byte
+	binary.LittleEndian.PutUint32(v[:], version)
+	_, err := w.Write(v[:])
+	return err
+}
+
+// SetSymtab attaches the run's live symbol table; the Writer snapshots
+// it into the trace every DefaultCheckpointFrames event frames, so a
+// crashed run still replays with symbolized functions. Without it,
+// symbols are written only by Close.
+func (tw *Writer) SetSymtab(sym *event.Symtab) { tw.sym = sym }
+
+// Emit implements event.Sink.
+func (tw *Writer) Emit(e event.Event) {
+	if tw.err != nil {
+		return
+	}
+	var rec [recordSize]byte
+	b := rec[:]
+	b[0] = byte(e.Type)
+	binary.LittleEndian.PutUint32(b[1:], uint32(e.Fn))
+	binary.LittleEndian.PutUint64(b[5:], e.Addr)
+	binary.LittleEndian.PutUint64(b[13:], e.Value)
+	binary.LittleEndian.PutUint64(b[21:], e.Old)
+	binary.LittleEndian.PutUint64(b[29:], e.Size)
+	tw.batch = append(tw.batch, b...)
+	tw.n++
+	if len(tw.batch) >= DefaultBatchRecords*recordSize {
+		tw.flushBatch()
+	}
+}
+
+// flushBatch seals the pending records into an event frame and, when
+// due, follows it with a symtab checkpoint.
+func (tw *Writer) flushBatch() {
+	if len(tw.batch) == 0 || tw.err != nil {
+		return
+	}
+	tw.writeFrame(frameEvents, tw.batch)
+	tw.batch = tw.batch[:0]
+	tw.frames++
+	if tw.sym != nil && tw.frames >= DefaultCheckpointFrames {
+		tw.writeFrame(frameSymtab, encodeSymtab(tw.sym))
+		tw.frames = 0
+	}
+}
+
+func (tw *Writer) writeFrame(kind byte, payload []byte) {
+	if tw.err != nil {
+		return
+	}
+	var hdr [frameHeaderSize]byte
+	hdr[0] = kind
+	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[5:], crc32.Checksum(payload, crcTable))
+	if _, err := tw.w.Write(hdr[:]); err != nil {
+		tw.err = err
+		return
+	}
+	if _, err := tw.w.Write(payload); err != nil {
+		tw.err = err
+	}
+}
+
+// Events returns the number of events written so far.
+func (tw *Writer) Events() uint64 { return tw.n }
+
+// Flush seals any pending batch into a frame and flushes buffered
+// bytes to the underlying writer, establishing a salvage point. The
+// Writer remains usable.
+func (tw *Writer) Flush() error {
+	tw.flushBatch()
+	if tw.err == nil {
+		tw.err = tw.w.Flush()
+	}
+	return tw.err
+}
+
+// Close seals pending events, writes the final symbol-table
+// checkpoint and the end frame, and flushes. The Writer is unusable
+// afterwards. sym may be nil if SetSymtab was used (or there are no
+// symbols).
+func (tw *Writer) Close(sym *event.Symtab) error {
+	if tw.err != nil {
+		return tw.err
+	}
+	tw.flushBatch()
+	if sym == nil {
+		sym = tw.sym
+	}
+	tw.writeFrame(frameSymtab, encodeSymtab(sym))
+	var end [8]byte
+	binary.LittleEndian.PutUint64(end[:], tw.n)
+	tw.writeFrame(frameEnd, end[:])
+	if tw.err == nil {
+		tw.err = tw.w.Flush()
+	}
+	return tw.err
+}
+
+// encodeSymtab renders a full symbol-table snapshot (count, then
+// length-prefixed names). A nil symtab encodes as zero entries.
+func encodeSymtab(sym *event.Symtab) []byte {
+	count := 0
+	if sym != nil {
+		count = sym.Len()
+	}
+	size := 4
+	for id := event.FnID(1); id <= event.FnID(count); id++ {
+		size += 4 + len(sym.Name(id))
+	}
+	buf := make([]byte, 0, size)
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(count))
+	buf = append(buf, u[:]...)
+	for id := event.FnID(1); id <= event.FnID(count); id++ {
+		name := sym.Name(id)
+		binary.LittleEndian.PutUint32(u[:], uint32(len(name)))
+		buf = append(buf, u[:]...)
+		buf = append(buf, name...)
+	}
+	return buf
+}
+
+// decodeSymtab parses an encodeSymtab payload.
+func decodeSymtab(payload []byte) (*event.Symtab, error) {
+	if len(payload) < 4 {
+		return nil, fmt.Errorf("%w: symtab count", ErrCorrupt)
+	}
+	count := binary.LittleEndian.Uint32(payload)
+	rest := payload[4:]
+	sym := event.NewSymtab()
+	for i := uint32(0); i < count; i++ {
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("%w: symtab entry", ErrCorrupt)
+		}
+		n := binary.LittleEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(n) > uint64(len(rest)) {
+			return nil, fmt.Errorf("%w: symtab name", ErrCorrupt)
+		}
+		sym.Intern(string(rest[:n]))
+		rest = rest[n:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: symtab trailing bytes", ErrCorrupt)
+	}
+	return sym, nil
+}
+
+func decodeRecord(b []byte) event.Event {
+	return event.Event{
+		Type:  event.Type(b[0]),
+		Fn:    event.FnID(binary.LittleEndian.Uint32(b[1:])),
+		Addr:  binary.LittleEndian.Uint64(b[5:]),
+		Value: binary.LittleEndian.Uint64(b[13:]),
+		Old:   binary.LittleEndian.Uint64(b[21:]),
+		Size:  binary.LittleEndian.Uint64(b[29:]),
+	}
+}
+
+// Replay reads a trace (either format version) and delivers every
+// event to sink in order. It returns the reconstructed symbol table
+// and the number of events replayed. Replay is strict: any damage
+// yields ErrCorrupt (events before the damage may already have been
+// delivered). Use Salvage to recover the valid prefix of a damaged
+// trace instead.
+func Replay(r io.ReadSeeker, sink event.Sink) (*event.Symtab, uint64, error) {
+	sym, n, _, err := replay(r, sink, false)
+	return sym, n, err
+}
+
+// Salvage reads a possibly-damaged trace, delivering every event from
+// the longest valid prefix to sink, and reports what was recovered
+// and what was lost. It fails only when not even the 8-byte header
+// survives (nothing to salvage) or the version is unknown.
+func Salvage(r io.ReadSeeker, sink event.Sink) (*event.Symtab, *SalvageInfo, error) {
+	sym, _, info, err := replay(r, sink, true)
+	return sym, info, err
+}
+
+func replay(r io.ReadSeeker, sink event.Sink, salvage bool) (*event.Symtab, uint64, *SalvageInfo, error) {
+	size, err := r.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, 0, nil, err
+	}
+	if _, err := r.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, nil, err
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, 0, nil, fmt.Errorf("%w: short header", ErrCorrupt)
+	}
+	if [4]byte(hdr[:4]) != headerMagic {
+		return nil, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
+	case VersionV1:
+		return replayV1(r, sink, size, salvage)
+	case Version:
+		return replayV2(r, sink, size, salvage)
+	default:
+		return nil, 0, nil, fmt.Errorf("trace: unsupported version %d", v)
+	}
+}
+
+// replayV2 walks the frame sequence. Strict mode demands every frame
+// intact plus a matching end frame; salvage mode stops at the first
+// damaged frame and keeps everything before it.
+func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool) (*event.Symtab, uint64, *SalvageInfo, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	info := &SalvageInfo{Truncated: true}
+	sym := event.NewSymtab()
+	var replayed uint64
+	offset := int64(8) // consumed through the last fully-valid frame
+	var declared uint64
+	sawEnd := false
+
+	corrupt := func(format string, args ...any) (*event.Symtab, uint64, *SalvageInfo, error) {
+		if salvage {
+			info.EventsRecovered = replayed
+			info.BytesDropped = uint64(size - offset)
+			return sym, replayed, info, nil
+		}
+		return sym, replayed, nil, fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
+	}
+
+	var hdr [frameHeaderSize]byte
+	for !sawEnd {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF && offset == size {
+				// Clean EOF at a frame boundary but no end frame:
+				// the writer was killed between batches.
+				return corrupt("missing end frame")
+			}
+			return corrupt("truncated frame header")
+		}
+		kind := hdr[0]
+		payloadLen := binary.LittleEndian.Uint32(hdr[1:])
+		wantCRC := binary.LittleEndian.Uint32(hdr[5:])
+		if payloadLen > maxFramePayload {
+			return corrupt("implausible frame length %d", payloadLen)
+		}
+		payload := make([]byte, payloadLen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return corrupt("truncated frame payload")
+		}
+		if crc32.Checksum(payload, crcTable) != wantCRC {
+			return corrupt("frame checksum mismatch")
+		}
+		switch kind {
+		case frameEvents:
+			if payloadLen%recordSize != 0 {
+				return corrupt("ragged event frame")
+			}
+			for off := 0; off < len(payload); off += recordSize {
+				sink.Emit(decodeRecord(payload[off : off+recordSize]))
+				replayed++
+			}
+		case frameSymtab:
+			s, err := decodeSymtab(payload)
+			if err != nil {
+				return corrupt("bad symtab checkpoint")
+			}
+			sym = s
+		case frameEnd:
+			if payloadLen != 8 {
+				return corrupt("bad end frame")
+			}
+			declared = binary.LittleEndian.Uint64(payload)
+			sawEnd = true
+		default:
+			return corrupt("unknown frame kind %d", kind)
+		}
+		offset += int64(frameHeaderSize) + int64(payloadLen)
+	}
+	if declared != replayed {
+		return corrupt("end frame declares %d events, replayed %d", declared, replayed)
+	}
+	if offset != size {
+		// Bytes after a valid end frame: a concatenation accident or
+		// scribbling. The prefix through the end frame is intact.
+		if salvage {
+			info.Truncated = false
+			info.EventsRecovered = replayed
+			info.BytesDropped = uint64(size - offset)
+			return sym, replayed, info, nil
+		}
+		return sym, replayed, nil, fmt.Errorf("%w: %d trailing bytes after end frame", ErrCorrupt, size-offset)
+	}
+	info.Truncated = false
+	info.EventsRecovered = replayed
+	return sym, replayed, info, nil
+}
+
+// replayV1 reads the legacy trailer-based format. Strict mode is the
+// original seed behaviour. Salvage mode falls back to a prefix scan
+// when the trailer is unusable: with no framing or checksums in v1,
+// every complete 37-byte record after the header is reinterpreted as
+// an event and the symbol table is lost.
+func replayV1(r io.ReadSeeker, sink event.Sink, size int64, salvage bool) (*event.Symtab, uint64, *SalvageInfo, error) {
+	sym, nEvents, symStart, err := readV1Trailer(r, size)
+	if err != nil {
+		if !salvage {
+			return nil, 0, nil, err
+		}
+		return salvageV1Prefix(r, sink, size)
+	}
+	// Replay events.
+	if _, err := r.Seek(8, io.SeekStart); err != nil {
+		return nil, 0, nil, err
+	}
+	er := bufio.NewReaderSize(io.LimitReader(r, int64(nEvents)*recordSize), 1<<16)
+	var rec [recordSize]byte
+	for i := uint64(0); i < nEvents; i++ {
+		if _, err := io.ReadFull(er, rec[:]); err != nil {
+			if salvage {
+				return sym, i, &SalvageInfo{
+					EventsRecovered: i,
+					BytesDropped:    uint64(symStart - 8 - int64(i)*recordSize),
+					Truncated:       true,
+				}, nil
+			}
+			return sym, i, nil, fmt.Errorf("%w: truncated events", ErrCorrupt)
+		}
+		sink.Emit(decodeRecord(rec[:]))
+	}
+	return sym, nEvents, &SalvageInfo{EventsRecovered: nEvents}, nil
+}
+
+// readV1Trailer locates and validates the v1 trailer, returning the
+// symbol table, the declared event count, and the symtab start offset.
+func readV1Trailer(r io.ReadSeeker, size int64) (*event.Symtab, uint64, int64, error) {
+	end := size - 20
+	if end < 8 {
+		return nil, 0, 0, fmt.Errorf("%w: missing trailer", ErrCorrupt)
+	}
+	if _, err := r.Seek(end, io.SeekStart); err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: missing trailer", ErrCorrupt)
+	}
+	var tail [20]byte
+	if _, err := io.ReadFull(r, tail[:]); err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: short trailer", ErrCorrupt)
+	}
+	if [4]byte(tail[16:]) != trailerMagic {
+		return nil, 0, 0, fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
+	}
+	symLen := binary.LittleEndian.Uint64(tail[0:])
+	nEvents := binary.LittleEndian.Uint64(tail[8:])
+	if symLen > uint64(end) {
+		return nil, 0, 0, fmt.Errorf("%w: implausible symtab length", ErrCorrupt)
+	}
+	symStart := end - int64(symLen)
+	if symStart < 8 {
+		return nil, 0, 0, fmt.Errorf("%w: implausible symtab length", ErrCorrupt)
+	}
+	if nEvents > uint64(symStart-8)/recordSize {
+		return nil, 0, 0, fmt.Errorf("%w: implausible event count", ErrCorrupt)
+	}
+	if int64(8)+int64(nEvents)*recordSize != symStart {
+		return nil, 0, 0, fmt.Errorf("%w: event region size mismatch", ErrCorrupt)
+	}
+	// Read symbol table.
+	if _, err := r.Seek(symStart, io.SeekStart); err != nil {
+		return nil, 0, 0, err
+	}
+	payload := make([]byte, symLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, 0, 0, fmt.Errorf("%w: short symtab", ErrCorrupt)
+	}
+	sym, err := decodeSymtab(payload)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	return sym, nEvents, symStart, nil
+}
+
+// salvageV1Prefix recovers what it can from a v1 trace whose trailer
+// is gone: every complete record after the header.
+func salvageV1Prefix(r io.ReadSeeker, sink event.Sink, size int64) (*event.Symtab, uint64, *SalvageInfo, error) {
+	if _, err := r.Seek(8, io.SeekStart); err != nil {
+		return nil, 0, nil, err
+	}
+	body := size - 8
+	n := uint64(body / recordSize)
+	er := bufio.NewReaderSize(io.LimitReader(r, int64(n)*recordSize), 1<<16)
+	var rec [recordSize]byte
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(er, rec[:]); err != nil {
+			return event.NewSymtab(), i, &SalvageInfo{
+				EventsRecovered: i,
+				BytesDropped:    uint64(body - int64(i)*recordSize),
+				Truncated:       true,
+			}, nil
+		}
+		sink.Emit(decodeRecord(rec[:]))
+	}
+	return event.NewSymtab(), n, &SalvageInfo{
+		EventsRecovered: n,
+		BytesDropped:    uint64(body % recordSize),
+		Truncated:       true,
+	}, nil
+}
+
+// WriterV1 writes the legacy v1 format; kept for compatibility tests
+// and for interoperating with tools that predate v2.
+type WriterV1 struct {
 	w   *bufio.Writer
 	n   uint64
 	err error
 	buf [recordSize]byte
 }
 
-// NewWriter writes the header and returns a Writer.
-func NewWriter(w io.Writer) (*Writer, error) {
+// NewWriterV1 writes a v1 header and returns a legacy writer.
+func NewWriterV1(w io.Writer) (*WriterV1, error) {
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if _, err := bw.Write(headerMagic[:]); err != nil {
+	if err := writeHeader(bw, VersionV1); err != nil {
 		return nil, err
 	}
-	var v [4]byte
-	binary.LittleEndian.PutUint32(v[:], Version)
-	if _, err := bw.Write(v[:]); err != nil {
-		return nil, err
-	}
-	return &Writer{w: bw}, nil
+	return &WriterV1{w: bw}, nil
 }
 
 // Emit implements event.Sink.
-func (tw *Writer) Emit(e event.Event) {
+func (tw *WriterV1) Emit(e event.Event) {
 	if tw.err != nil {
 		return
 	}
@@ -84,141 +593,27 @@ func (tw *Writer) Emit(e event.Event) {
 }
 
 // Events returns the number of events written so far.
-func (tw *Writer) Events() uint64 { return tw.n }
+func (tw *WriterV1) Events() uint64 { return tw.n }
 
 // Close writes the symbol-table trailer and flushes. The Writer is
 // unusable afterwards.
-func (tw *Writer) Close(sym *event.Symtab) error {
+func (tw *WriterV1) Close(sym *event.Symtab) error {
 	if tw.err != nil {
 		return tw.err
 	}
-	var symLen uint64
-	writeU32 := func(x uint32) {
-		var b [4]byte
-		binary.LittleEndian.PutUint32(b[:], x)
-		if tw.err == nil {
-			if _, err := tw.w.Write(b[:]); err != nil {
-				tw.err = err
-			}
-		}
-		symLen += 4
-	}
-	count := uint32(0)
-	if sym != nil {
-		count = uint32(sym.Len())
-	}
-	writeU32(count)
-	for id := event.FnID(1); id <= event.FnID(count); id++ {
-		name := sym.Name(id)
-		writeU32(uint32(len(name)))
-		if tw.err == nil {
-			if _, err := tw.w.WriteString(name); err != nil {
-				tw.err = err
-			}
-		}
-		symLen += uint64(len(name))
+	payload := encodeSymtab(sym)
+	if _, err := tw.w.Write(payload); err != nil {
+		tw.err = err
+		return tw.err
 	}
 	var tail [20]byte
-	binary.LittleEndian.PutUint64(tail[0:], symLen)
+	binary.LittleEndian.PutUint64(tail[0:], uint64(len(payload)))
 	binary.LittleEndian.PutUint64(tail[8:], tw.n)
 	copy(tail[16:], trailerMagic[:])
-	if tw.err == nil {
-		if _, err := tw.w.Write(tail[:]); err != nil {
-			tw.err = err
-		}
+	if _, err := tw.w.Write(tail[:]); err != nil {
+		tw.err = err
+		return tw.err
 	}
-	if tw.err == nil {
-		tw.err = tw.w.Flush()
-	}
+	tw.err = tw.w.Flush()
 	return tw.err
-}
-
-// Replay reads a trace and delivers every event to sink in order. It
-// returns the reconstructed symbol table and the number of events
-// replayed.
-func Replay(r io.ReadSeeker, sink event.Sink) (*event.Symtab, uint64, error) {
-	// Validate header.
-	var hdr [8]byte
-	if _, err := r.Seek(0, io.SeekStart); err != nil {
-		return nil, 0, err
-	}
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, 0, fmt.Errorf("%w: short header", ErrCorrupt)
-	}
-	if [4]byte(hdr[:4]) != headerMagic {
-		return nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != Version {
-		return nil, 0, fmt.Errorf("trace: unsupported version %d", v)
-	}
-	// Locate and validate trailer.
-	end, err := r.Seek(-20, io.SeekEnd)
-	if err != nil {
-		return nil, 0, fmt.Errorf("%w: missing trailer", ErrCorrupt)
-	}
-	var tail [20]byte
-	if _, err := io.ReadFull(r, tail[:]); err != nil {
-		return nil, 0, fmt.Errorf("%w: short trailer", ErrCorrupt)
-	}
-	if [4]byte(tail[16:]) != trailerMagic {
-		return nil, 0, fmt.Errorf("%w: bad trailer magic", ErrCorrupt)
-	}
-	symLen := binary.LittleEndian.Uint64(tail[0:])
-	nEvents := binary.LittleEndian.Uint64(tail[8:])
-	symStart := end - int64(symLen)
-	if symStart < 8 {
-		return nil, 0, fmt.Errorf("%w: implausible symtab length", ErrCorrupt)
-	}
-	// Read symbol table.
-	if _, err := r.Seek(symStart, io.SeekStart); err != nil {
-		return nil, 0, err
-	}
-	sr := bufio.NewReader(io.LimitReader(r, int64(symLen)))
-	readU32 := func() (uint32, error) {
-		var b [4]byte
-		if _, err := io.ReadFull(sr, b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint32(b[:]), nil
-	}
-	count, err := readU32()
-	if err != nil {
-		return nil, 0, fmt.Errorf("%w: symtab count", ErrCorrupt)
-	}
-	sym := event.NewSymtab()
-	for i := uint32(0); i < count; i++ {
-		n, err := readU32()
-		if err != nil {
-			return nil, 0, fmt.Errorf("%w: symtab entry", ErrCorrupt)
-		}
-		name := make([]byte, n)
-		if _, err := io.ReadFull(sr, name); err != nil {
-			return nil, 0, fmt.Errorf("%w: symtab name", ErrCorrupt)
-		}
-		sym.Intern(string(name))
-	}
-	// Replay events.
-	expected := int64(8) + int64(nEvents)*recordSize
-	if expected != symStart {
-		return nil, 0, fmt.Errorf("%w: event region size mismatch", ErrCorrupt)
-	}
-	if _, err := r.Seek(8, io.SeekStart); err != nil {
-		return nil, 0, err
-	}
-	er := bufio.NewReaderSize(io.LimitReader(r, int64(nEvents)*recordSize), 1<<16)
-	var rec [recordSize]byte
-	for i := uint64(0); i < nEvents; i++ {
-		if _, err := io.ReadFull(er, rec[:]); err != nil {
-			return nil, i, fmt.Errorf("%w: truncated events", ErrCorrupt)
-		}
-		sink.Emit(event.Event{
-			Type:  event.Type(rec[0]),
-			Fn:    event.FnID(binary.LittleEndian.Uint32(rec[1:])),
-			Addr:  binary.LittleEndian.Uint64(rec[5:]),
-			Value: binary.LittleEndian.Uint64(rec[13:]),
-			Old:   binary.LittleEndian.Uint64(rec[21:]),
-			Size:  binary.LittleEndian.Uint64(rec[29:]),
-		})
-	}
-	return sym, nEvents, nil
 }

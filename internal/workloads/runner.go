@@ -26,12 +26,10 @@ type RunConfig struct {
 }
 
 // DefaultFrequency is the sampling frequency used by the experiment
-// harnesses. Simulated workloads generate thousands of function
-// entries per run (not the hundreds of millions of a real x86
-// binary), so the harness samples every 16th entry rather than the
-// paper's every-100,000th; both yield a few hundred metric
-// computation points per run.
-const DefaultFrequency = 16
+// harnesses: the shared simulation-wide constant (see
+// logger.SimulationFrequency for why it differs from the paper's
+// every-100,000th-entry frq).
+const DefaultFrequency = logger.SimulationFrequency
 
 // RunLogged executes w on the given input under a fresh process and
 // logger and returns the metric report. The returned process allows
