@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"heapmd"
+	"heapmd/internal/metrics"
 	"heapmd/internal/model"
 )
 
@@ -22,6 +23,9 @@ func cmdReplay(args []string) error {
 	tracePath := fs.String("trace", "", "trace file recorded with heapmd.RecordTrace")
 	modelPath := fs.String("model", "", "optional model file: check the replayed report against it")
 	salvage := fs.Bool("salvage", false, "recover the longest valid prefix of a damaged trace")
+	pipelined := fs.Bool("pipelined", false, "decode and apply the trace on separate goroutines (identical report, better throughput)")
+	workers := fs.Int("metric-workers", 0, "compute expensive extension metrics on this many workers (0 = inline)")
+	extended := fs.Bool("extended", false, "compute the extended metric suite (adds WCC/SCC structure metrics)")
 	freq := fs.Uint64("freq", 0, "sampling frequency; must match the recording (0 = simulation default)")
 	retries := fs.Int("retries", 3, "max retries per read/seek on transient I/O errors")
 	program := fs.String("program", "replayed", "program name recorded in the report")
@@ -39,9 +43,16 @@ func cmdReplay(args []string) error {
 	defer f.Close()
 	rr := &retryReader{r: f, maxRetries: *retries, backoff: 50 * time.Millisecond}
 
+	var suite metrics.Suite
+	if *extended {
+		suite = metrics.ExtendedSuite()
+	}
 	rep, sym, info, err := heapmd.ReplayTraceWith(rr, *program, *input, heapmd.ReplayOptions{
-		Frequency: *freq,
-		Salvage:   *salvage,
+		Frequency:     *freq,
+		Salvage:       *salvage,
+		Pipelined:     *pipelined,
+		MetricWorkers: *workers,
+		Suite:         suite,
 	})
 	if err != nil {
 		if *salvage {

@@ -99,6 +99,29 @@ type (
 	// SalvageInfo describes what trace salvage recovered from a
 	// damaged trace.
 	SalvageInfo = trace.SalvageInfo
+
+	// Pipeline is the concurrent monitoring pipeline: a multi-
+	// producer/single-consumer batched event channel in front of the
+	// execution logger, with configurable backpressure.
+	Pipeline = logger.Pipeline
+
+	// PipelineProducer is one goroutine's batching front-end to a
+	// Pipeline; it implements the event sink interface.
+	PipelineProducer = logger.Producer
+
+	// PipelineOptions configures batching, queue depth and the
+	// backpressure policy of a Pipeline.
+	PipelineOptions = logger.PipelineOptions
+)
+
+// Backpressure policies for PipelineOptions.Policy.
+const (
+	// BlockWhenFull stalls producers until the consumer catches up;
+	// no events are lost (default).
+	BlockWhenFull = logger.Block
+	// DropWhenFull sheds batches under overload and tallies the loss
+	// in the report's health counters (DroppedEvents).
+	DropWhenFull = logger.Drop
 )
 
 // SimulationFrequency is the default sampling frequency for simulated
@@ -132,6 +155,11 @@ type Options struct {
 	// FieldGranularity builds the heap-graph with one vertex per
 	// word instead of per object (paper Figure 3 ablation).
 	FieldGranularity bool
+	// MetricWorkers > 0 computes the expensive extension metrics
+	// (WCC/SCC) on that many worker goroutines off the ingestion
+	// path; see logger.Options.MetricWorkers. Only meaningful with a
+	// suite that includes those metrics.
+	MetricWorkers int
 }
 
 // Session manages model construction across training runs.
@@ -171,10 +199,20 @@ func (s *Session) newRun(program, input string, seed int64, plan *FaultPlan) *Ru
 	if freq == 0 {
 		freq = logger.SimulationFrequency
 	}
-	l := logger.New(logger.Options{Frequency: freq, Granularity: gran})
+	l := logger.New(logger.Options{Frequency: freq, Granularity: gran, MetricWorkers: s.opts.MetricWorkers})
 	l.SetRun(program, input, 1)
 	p.Subscribe(l)
 	return &Run{process: p, log: l}
+}
+
+// Pipeline puts a concurrent ingestion pipeline in front of a run's
+// logger: hand each producing goroutine its own PipelineProducer (an
+// event sink), close every producer, then Close the pipeline before
+// calling Report. The run's own simulated process remains subscribed
+// directly; the pipeline is for additional concurrent event sources
+// (replayed traces, instrumented workload threads).
+func (r *Run) Pipeline(opts PipelineOptions) *Pipeline {
+	return logger.NewPipeline(r.log, opts)
 }
 
 // Process returns the simulated program context to execute against.
@@ -283,6 +321,17 @@ type ReplayOptions struct {
 	// the returned SalvageInfo and tallied in the report's health
 	// counters.
 	Salvage bool
+	// Pipelined decodes the trace and applies it to the heap image on
+	// separate goroutines (decode feeds a Pipeline producer), so CRC
+	// checking and framing overlap graph mutation. The reconstructed
+	// report is identical to a non-pipelined replay.
+	Pipelined bool
+	// MetricWorkers > 0 computes expensive extension metrics on
+	// worker goroutines during replay; see Options.MetricWorkers.
+	MetricWorkers int
+	// Suite selects the metric suite for the replay; zero value
+	// means the default seven-metric suite.
+	Suite metrics.Suite
 }
 
 // ReplayTrace replays a recorded trace into a fresh logger and
@@ -302,19 +351,31 @@ func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions
 	if freq == 0 {
 		freq = logger.SimulationFrequency
 	}
-	l := logger.New(logger.Options{Frequency: freq})
+	l := logger.New(logger.Options{Frequency: freq, Suite: opts.Suite, MetricWorkers: opts.MetricWorkers})
 	l.SetRun(program, input, 1)
+	var sink event.Sink = l
+	var pipe *Pipeline
+	var prod *PipelineProducer
+	if opts.Pipelined {
+		pipe = logger.NewPipeline(l, PipelineOptions{})
+		prod = pipe.NewProducer()
+		sink = prod
+	}
 	var (
 		sym  *Symtab
 		info *SalvageInfo
 		err  error
 	)
 	if opts.Salvage {
-		sym, info, err = trace.Salvage(rd, l)
+		sym, info, err = trace.Salvage(rd, sink)
 	} else {
 		var n uint64
-		sym, n, err = trace.Replay(rd, l)
+		sym, n, err = trace.Replay(rd, sink)
 		info = &SalvageInfo{EventsRecovered: n}
+	}
+	if pipe != nil {
+		prod.Close()
+		pipe.Close()
 	}
 	if err != nil {
 		return nil, nil, nil, err

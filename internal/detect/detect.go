@@ -261,13 +261,15 @@ func (d *Detector) Sample(snap metrics.Snapshot, stack *callstack.Tracker) {
 		return
 	}
 	for _, st := range d.states {
+		if st.idx >= len(snap.Values) {
+			// Snapshot narrower than the suite (v1 report against an
+			// extended suite): no evidence for this metric, skip it.
+			continue
+		}
 		v := snap.Values[st.idx]
 		st.values = append(st.values, v)
 		d.step(st, v, snap.Tick, stack)
 	}
-	// Record series for pathological checks on unstable metrics.
-	// (Stable metrics already record theirs above.)
-	_ = snap
 }
 
 func (d *Detector) step(st *metricState, v float64, tick uint64, stack *callstack.Tracker) {
@@ -407,9 +409,12 @@ func (d *Detector) Finish() {
 func (d *Detector) CheckUnstable(rep *logger.Report) {
 	th := d.mdl.Thresholds
 	for idx, id := range d.unstableIdx {
-		series := make([]float64, len(rep.Snapshots))
-		for i, s := range rep.Snapshots {
-			series[i] = s.Values[idx]
+		series := make([]float64, 0, len(rep.Snapshots))
+		for _, s := range rep.Snapshots {
+			if idx >= len(s.Values) {
+				continue
+			}
+			series = append(series, s.Values[idx])
 		}
 		trimmed := stats.Trim(series, th.TrimFrac)
 		if len(trimmed) < th.MinSamples {

@@ -150,6 +150,32 @@ func (g *Graph) StronglyConnectedComponents() ComponentStats {
 	return stats
 }
 
+// WeaklyConnectedComponentsCached is WeaklyConnectedComponents with
+// generation-counter memoization: when the graph has not mutated since
+// the last cached computation, the cached stats are returned without a
+// walk. Metric evaluation calls this so that back-to-back samples over
+// an idle graph cost O(1) instead of O(V+E). Like mutation, it must
+// only be called from the graph's writer goroutine.
+func (g *Graph) WeaklyConnectedComponentsCached() ComponentStats {
+	if gen := g.Generation(); g.wccCache.valid && g.wccCache.gen == gen {
+		return g.wccCache.stats
+	}
+	st := g.WeaklyConnectedComponents()
+	g.wccCache = componentCache{gen: g.Generation(), stats: st, valid: true}
+	return st
+}
+
+// StronglyConnectedComponentsCached is StronglyConnectedComponents
+// with the same generation-counter memoization; writer goroutine only.
+func (g *Graph) StronglyConnectedComponentsCached() ComponentStats {
+	if gen := g.Generation(); g.sccCache.valid && g.sccCache.gen == gen {
+		return g.sccCache.stats
+	}
+	st := g.StronglyConnectedComponents()
+	g.sccCache = componentCache{gen: g.Generation(), stats: st, valid: true}
+	return st
+}
+
 // CheckInvariants verifies the incremental bookkeeping against a full
 // recomputation: histogram populations, the in==out counter, and the
 // edge total must all match what a fresh scan of the adjacency
@@ -180,17 +206,22 @@ func (g *Graph) CheckInvariants() string {
 		}
 		edges += out
 	}
-	if inHist != g.inHist {
-		return "indegree histogram mismatch"
+	for b := 0; b < maxTracked+2; b++ {
+		if inHist[b] != g.counts.sumIn(b) {
+			return "indegree histogram mismatch"
+		}
+		if outHist[b] != g.counts.sumOut(b) {
+			return "outdegree histogram mismatch"
+		}
 	}
-	if outHist != g.outHist {
-		return "outdegree histogram mismatch"
-	}
-	if eq != g.eq {
+	if eq != g.counts.sumEq() {
 		return "in==out counter mismatch"
 	}
-	if edges != g.edges {
+	if edges != g.NumEdges() {
 		return "edge count mismatch"
+	}
+	if len(g.vertices) != g.NumVertices() {
+		return "vertex count mismatch"
 	}
 	// Symmetry: u.out[v] must equal v.in[u].
 	for u, ux := range g.vertices {

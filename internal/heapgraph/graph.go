@@ -15,9 +15,20 @@
 // Edges are multi-edges: two fields of object A pointing at object B
 // contribute 2 to B's indegree, matching the "number of pointers"
 // reading of degree used by the paper.
+//
+// Concurrency: the adjacency structure is single-writer — only one
+// goroutine (the monitoring pipeline's consumer) may mutate the graph
+// or walk adjacency. The aggregate counts (CountInDegree,
+// CountOutDegree, CountInEqOut, NumVertices, NumEdges, Generation) are
+// maintained in lock-striped atomic shards (see sharded.go) and may be
+// read from any goroutine while mutation proceeds. Whole-graph
+// analyses from other goroutines must work on a Freeze() snapshot.
 package heapgraph
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // VertexID names a heap object in the graph. The execution logger
 // assigns IDs from an allocation generation counter, so a recycled
@@ -37,14 +48,28 @@ type vertex struct {
 	inDeg  int              // total incoming multiplicity
 }
 
-// Graph is the mutable heap-graph image. It is not safe for concurrent
-// use.
+// componentCache memoizes a components decomposition together with the
+// mutation generation it was computed at.
+type componentCache struct {
+	gen   uint64
+	stats ComponentStats
+	valid bool
+}
+
+// Graph is the mutable heap-graph image. Mutation and adjacency walks
+// are single-goroutine; the degree/size counters tolerate concurrent
+// readers (see the package comment).
 type Graph struct {
 	vertices map[VertexID]*vertex
-	inHist   [maxTracked + 2]int // inHist[d] = #vertices with indegree d; last bucket is overflow
-	outHist  [maxTracked + 2]int
-	eq       int // #vertices with indegree == outdegree
-	edges    int // total edge multiplicity
+	counts   shardedCounts
+	nVerts   atomic.Int64
+	edges    atomic.Int64 // total edge multiplicity
+	// gen counts successful mutations. Metric evaluation uses it to
+	// reuse cached whole-graph analyses and to tag Freeze snapshots.
+	gen atomic.Uint64
+
+	wccCache componentCache
+	sccCache componentCache
 }
 
 // New returns an empty heap-graph.
@@ -59,18 +84,19 @@ func bucket(d int) int {
 	return d
 }
 
-// track updates the histograms and eq counter for a vertex whose
+// track updates the histograms and eq counter for vertex v whose
 // degrees change from (oldIn, oldOut) to (newIn, newOut).
-func (g *Graph) track(oldIn, oldOut, newIn, newOut int) {
-	g.inHist[bucket(oldIn)]--
-	g.outHist[bucket(oldOut)]--
-	g.inHist[bucket(newIn)]++
-	g.outHist[bucket(newOut)]++
+func (g *Graph) track(v VertexID, oldIn, oldOut, newIn, newOut int) {
+	sh := g.counts.shard(v)
+	sh.inHist[bucket(oldIn)].Add(-1)
+	sh.outHist[bucket(oldOut)].Add(-1)
+	sh.inHist[bucket(newIn)].Add(1)
+	sh.outHist[bucket(newOut)].Add(1)
 	if oldIn == oldOut {
-		g.eq--
+		sh.eq.Add(-1)
 	}
 	if newIn == newOut {
-		g.eq++
+		sh.eq.Add(1)
 	}
 }
 
@@ -82,9 +108,12 @@ func (g *Graph) AddVertex(v VertexID) {
 		return
 	}
 	g.vertices[v] = &vertex{}
-	g.inHist[0]++
-	g.outHist[0]++
-	g.eq++ // 0 == 0
+	sh := g.counts.shard(v)
+	sh.inHist[0].Add(1)
+	sh.outHist[0].Add(1)
+	sh.eq.Add(1) // 0 == 0
+	g.nVerts.Add(1)
+	g.gen.Add(1)
 }
 
 // HasVertex reports whether v is present.
@@ -105,14 +134,14 @@ func (g *Graph) RemoveVertex(v VertexID) {
 	// multiplicity.
 	for succ, mult := range vx.out {
 		if succ == v {
-			g.edges -= mult
+			g.edges.Add(-int64(mult))
 			continue // self-loop dies with the vertex
 		}
 		sx := g.vertices[succ]
-		g.track(sx.inDeg, sx.outDeg, sx.inDeg-mult, sx.outDeg)
+		g.track(succ, sx.inDeg, sx.outDeg, sx.inDeg-mult, sx.outDeg)
 		sx.inDeg -= mult
 		delete(sx.in, v)
-		g.edges -= mult
+		g.edges.Add(-int64(mult))
 	}
 	// Detach incoming edges.
 	for pred, mult := range vx.in {
@@ -120,18 +149,21 @@ func (g *Graph) RemoveVertex(v VertexID) {
 			continue // self-loop already handled above
 		}
 		px := g.vertices[pred]
-		g.track(px.inDeg, px.outDeg, px.inDeg, px.outDeg-mult)
+		g.track(pred, px.inDeg, px.outDeg, px.inDeg, px.outDeg-mult)
 		px.outDeg -= mult
 		delete(px.out, v)
-		g.edges -= mult
+		g.edges.Add(-int64(mult))
 	}
 	// Remove v itself from the histograms.
-	g.inHist[bucket(vx.inDeg)]--
-	g.outHist[bucket(vx.outDeg)]--
+	sh := g.counts.shard(v)
+	sh.inHist[bucket(vx.inDeg)].Add(-1)
+	sh.outHist[bucket(vx.outDeg)].Add(-1)
 	if vx.inDeg == vx.outDeg {
-		g.eq--
+		sh.eq.Add(-1)
 	}
 	delete(g.vertices, v)
+	g.nVerts.Add(-1)
+	g.gen.Add(1)
 }
 
 // AddEdge adds one unit of edge multiplicity from u to v. Both
@@ -155,16 +187,17 @@ func (g *Graph) AddEdge(u, v VertexID) bool {
 	ux.out[v]++
 	vx.in[u]++
 	if u == v {
-		g.track(ux.inDeg, ux.outDeg, ux.inDeg+1, ux.outDeg+1)
+		g.track(u, ux.inDeg, ux.outDeg, ux.inDeg+1, ux.outDeg+1)
 		ux.inDeg++
 		ux.outDeg++
 	} else {
-		g.track(ux.inDeg, ux.outDeg, ux.inDeg, ux.outDeg+1)
+		g.track(u, ux.inDeg, ux.outDeg, ux.inDeg, ux.outDeg+1)
 		ux.outDeg++
-		g.track(vx.inDeg, vx.outDeg, vx.inDeg+1, vx.outDeg)
+		g.track(v, vx.inDeg, vx.outDeg, vx.inDeg+1, vx.outDeg)
 		vx.inDeg++
 	}
-	g.edges++
+	g.edges.Add(1)
+	g.gen.Add(1)
 	return true
 }
 
@@ -185,16 +218,17 @@ func (g *Graph) RemoveEdge(u, v VertexID) bool {
 		delete(vx.in, u)
 	}
 	if u == v {
-		g.track(ux.inDeg, ux.outDeg, ux.inDeg-1, ux.outDeg-1)
+		g.track(u, ux.inDeg, ux.outDeg, ux.inDeg-1, ux.outDeg-1)
 		ux.inDeg--
 		ux.outDeg--
 	} else {
-		g.track(ux.inDeg, ux.outDeg, ux.inDeg, ux.outDeg-1)
+		g.track(u, ux.inDeg, ux.outDeg, ux.inDeg, ux.outDeg-1)
 		ux.outDeg--
-		g.track(vx.inDeg, vx.outDeg, vx.inDeg-1, vx.outDeg)
+		g.track(v, vx.inDeg, vx.outDeg, vx.inDeg-1, vx.outDeg)
 		vx.inDeg--
 	}
-	g.edges--
+	g.edges.Add(-1)
+	g.gen.Add(1)
 	return true
 }
 
@@ -207,42 +241,51 @@ func (g *Graph) Multiplicity(u, v VertexID) int {
 	return ux.out[v]
 }
 
-// NumVertices returns the number of vertices.
-func (g *Graph) NumVertices() int { return len(g.vertices) }
+// NumVertices returns the number of vertices. Safe to call
+// concurrently with mutation.
+func (g *Graph) NumVertices() int { return int(g.nVerts.Load()) }
 
-// NumEdges returns the total edge multiplicity.
-func (g *Graph) NumEdges() int { return g.edges }
+// NumEdges returns the total edge multiplicity. Safe to call
+// concurrently with mutation.
+func (g *Graph) NumEdges() int { return int(g.edges.Load()) }
+
+// Generation returns the mutation-generation counter: it increments on
+// every successful vertex or edge mutation, so two reads returning the
+// same value bracket a window in which the graph did not change. Safe
+// to call concurrently with mutation.
+func (g *Graph) Generation() uint64 { return g.gen.Load() }
 
 // CountInDegree returns the number of vertices with indegree exactly d
 // (for d <= maxTracked; larger d values return 0 — use
-// CountInDegreeOverflow for the tail).
+// CountInDegreeOverflow for the tail). Safe to call concurrently with
+// mutation.
 func (g *Graph) CountInDegree(d int) int {
 	if d < 0 || d > maxTracked {
 		return 0
 	}
-	return g.inHist[d]
+	return g.counts.sumIn(d)
 }
 
 // CountOutDegree returns the number of vertices with outdegree exactly
-// d (d <= maxTracked).
+// d (d <= maxTracked). Safe to call concurrently with mutation.
 func (g *Graph) CountOutDegree(d int) int {
 	if d < 0 || d > maxTracked {
 		return 0
 	}
-	return g.outHist[d]
+	return g.counts.sumOut(d)
 }
 
 // CountInDegreeOverflow returns the number of vertices with indegree
 // greater than maxTracked.
-func (g *Graph) CountInDegreeOverflow() int { return g.inHist[maxTracked+1] }
+func (g *Graph) CountInDegreeOverflow() int { return g.counts.sumIn(maxTracked + 1) }
 
 // CountOutDegreeOverflow returns the number of vertices with outdegree
 // greater than maxTracked.
-func (g *Graph) CountOutDegreeOverflow() int { return g.outHist[maxTracked+1] }
+func (g *Graph) CountOutDegreeOverflow() int { return g.counts.sumOut(maxTracked + 1) }
 
 // CountInEqOut returns the number of vertices whose indegree equals
-// their outdegree.
-func (g *Graph) CountInEqOut() int { return g.eq }
+// their outdegree. Safe to call concurrently with mutation.
+func (g *Graph) CountInEqOut() int { return g.counts.sumEq() }
 
 // InDegree returns v's indegree (total incoming multiplicity).
 func (g *Graph) InDegree(v VertexID) int {
@@ -302,5 +345,5 @@ func (g *Graph) Vertices(fn func(VertexID) bool) {
 // String summarizes the graph for debugging.
 func (g *Graph) String() string {
 	return fmt.Sprintf("heapgraph{V=%d E=%d roots=%d leaves=%d in==out=%d}",
-		len(g.vertices), g.edges, g.inHist[0], g.outHist[0], g.eq)
+		g.NumVertices(), g.NumEdges(), g.CountInDegree(0), g.CountOutDegree(0), g.CountInEqOut())
 }

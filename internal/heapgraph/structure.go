@@ -1,0 +1,188 @@
+package heapgraph
+
+// This file implements frozen connectivity snapshots. The whole-graph
+// analyses (WCC/SCC) backing the extension metrics are far too slow to
+// run on the monitoring pipeline's consumer goroutine — they would
+// stall ingestion for the duration of a full graph walk — and the live
+// Graph's adjacency maps cannot be walked from another goroutine while
+// mutation proceeds. Freeze captures the connectivity into an
+// immutable, densely indexed form in a single pass; the component
+// analyses then run on the snapshot from any goroutine, using
+// slice-indexed state instead of the live graph's map-keyed state
+// (which also makes them faster than their map-based counterparts).
+
+// Structure is an immutable snapshot of a Graph's connectivity:
+// vertices renumbered densely, one distinct-neighbour adjacency list
+// per direction (edge multiplicity is irrelevant to component
+// analyses). A Structure is safe for concurrent use.
+type Structure struct {
+	out [][]int32
+	in  [][]int32
+	gen uint64
+}
+
+// Freeze snapshots the graph's connectivity. It must be called from
+// the graph's writer goroutine (it walks the adjacency maps), but the
+// returned Structure may then be analysed from any goroutine.
+func (g *Graph) Freeze() *Structure {
+	n := len(g.vertices)
+	st := &Structure{
+		out: make([][]int32, n),
+		in:  make([][]int32, n),
+		gen: g.Generation(),
+	}
+	idx := make(map[VertexID]int32, n)
+	i := int32(0)
+	for v := range g.vertices {
+		idx[v] = i
+		i++
+	}
+	for v, vx := range g.vertices {
+		vi := idx[v]
+		if len(vx.out) > 0 {
+			succs := make([]int32, 0, len(vx.out))
+			for s := range vx.out {
+				succs = append(succs, idx[s])
+			}
+			st.out[vi] = succs
+		}
+		if len(vx.in) > 0 {
+			preds := make([]int32, 0, len(vx.in))
+			for p := range vx.in {
+				preds = append(preds, idx[p])
+			}
+			st.in[vi] = preds
+		}
+	}
+	return st
+}
+
+// NumVertices returns the number of vertices in the snapshot.
+func (s *Structure) NumVertices() int { return len(s.out) }
+
+// Generation returns the graph mutation generation the snapshot was
+// taken at.
+func (s *Structure) Generation() uint64 { return s.gen }
+
+// WeaklyConnectedComponents computes the number and largest size of
+// weakly connected components of the snapshot (edge direction
+// ignored). Isolated vertices are singleton components.
+func (s *Structure) WeaklyConnectedComponents() ComponentStats {
+	n := len(s.out)
+	seen := make([]bool, n)
+	var stats ComponentStats
+	stack := make([]int32, 0, 64)
+	for root := 0; root < n; root++ {
+		if seen[root] {
+			continue
+		}
+		stats.Count++
+		size := 0
+		stack = append(stack[:0], int32(root))
+		seen[root] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			size++
+			for _, w := range s.out[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+			for _, w := range s.in[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		if size > stats.Largest {
+			stats.Largest = size
+		}
+	}
+	return stats
+}
+
+// StronglyConnectedComponents computes the number and largest size of
+// strongly connected components of the snapshot with an iterative
+// Tarjan over the dense index space (deep list structures must not
+// overflow the goroutine stack, same as the live-graph variant).
+func (s *Structure) StronglyConnectedComponents() ComponentStats {
+	n := len(s.out)
+	if n == 0 {
+		return ComponentStats{}
+	}
+	index := make([]int32, n) // discovery index, 0 = unvisited
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	sccStack := make([]int32, 0, 64)
+	next := int32(1)
+
+	var stats ComponentStats
+
+	// frame emulates Tarjan's recursion: pos is the next successor of
+	// v still to be explored.
+	type frame struct {
+		v   int32
+		pos int
+	}
+
+	for root := 0; root < n; root++ {
+		if index[root] != 0 {
+			continue
+		}
+		stack := []frame{{v: int32(root)}}
+		index[root] = next
+		lowlink[root] = next
+		next++
+		sccStack = append(sccStack, int32(root))
+		onStack[root] = true
+
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if succs := s.out[f.v]; f.pos < len(succs) {
+				w := succs[f.pos]
+				f.pos++
+				if index[w] == 0 {
+					index[w] = next
+					lowlink[w] = next
+					next++
+					sccStack = append(sccStack, w)
+					onStack[w] = true
+					stack = append(stack, frame{v: w})
+				} else if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+				continue
+			}
+			// All successors explored: pop the frame.
+			v := f.v
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				parent := stack[len(stack)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				// v is an SCC root: pop its component.
+				size := 0
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					size++
+					if w == v {
+						break
+					}
+				}
+				stats.Count++
+				if size > stats.Largest {
+					stats.Largest = size
+				}
+			}
+		}
+	}
+	return stats
+}

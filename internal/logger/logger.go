@@ -83,6 +83,15 @@ type Options struct {
 	Granularity Granularity
 	// Symtab resolves function IDs for reporting; optional.
 	Symtab *event.Symtab
+	// MetricWorkers > 0 evaluates the expensive extension metrics
+	// (WCC/SCC) on that many worker goroutines instead of inline at
+	// the metric computation point, so sampling never stalls event
+	// ingestion for a whole-graph walk. Exact results are joined back
+	// into the recorded snapshots by tick before Report returns;
+	// observers see the newest completed values in the expensive
+	// slots (carry-forward) rather than blocking. Ignored when the
+	// suite contains no expensive metric.
+	MetricWorkers int
 }
 
 // SampleObserver is notified at every metric computation point with
@@ -141,18 +150,25 @@ func (r *Report) Series(id metrics.ID) []float64 {
 	if idx < 0 {
 		return nil
 	}
-	out := make([]float64, len(r.Snapshots))
-	for i, s := range r.Snapshots {
-		out[i] = s.Values[idx]
+	// Skip snapshots narrower than the suite (a report whose snapshot
+	// rows predate a suite extension) instead of indexing out of range.
+	out := make([]float64, 0, len(r.Snapshots))
+	for _, s := range r.Snapshots {
+		if idx >= len(s.Values) {
+			continue
+		}
+		out = append(out, s.Values[idx])
 	}
 	return out
 }
 
 // Logger consumes events and produces a Report. It implements
-// event.Sink.
+// event.Sink. A Logger is single-goroutine; to feed it from several
+// producers, put a Pipeline in front of it.
 type Logger struct {
 	opts  Options
 	suite metrics.Suite
+	async *metrics.Async // non-nil when MetricWorkers > 0 and the suite needs it
 
 	graph   *heapgraph.Graph
 	objects *intervals.Map[*objInfo]
@@ -186,7 +202,7 @@ func New(opts Options) *Logger {
 	if opts.Suite.Len() == 0 {
 		opts.Suite = metrics.DefaultSuite()
 	}
-	return &Logger{
+	l := &Logger{
 		opts:    opts,
 		suite:   opts.Suite,
 		graph:   heapgraph.New(),
@@ -194,6 +210,15 @@ func New(opts Options) *Logger {
 		stack:   callstack.NewTracker(),
 		freed:   make(map[uint64]struct{}),
 	}
+	if opts.MetricWorkers > 0 {
+		for _, id := range opts.Suite.IDs() {
+			if id.Expensive() {
+				l.async = metrics.NewAsync(opts.Suite, opts.MetricWorkers)
+				break
+			}
+		}
+	}
+	return l
 }
 
 // SetRun records identifying metadata copied into the Report.
@@ -406,8 +431,20 @@ func (l *Logger) onStore(addr, value uint64) {
 // and one faulty diagnostic attachment must not end the diagnosis.
 func (l *Logger) sample() {
 	l.tick++
-	snap := l.suite.Compute(l.graph, l.tick)
-	l.snaps = append(l.snaps, snap)
+	var snap metrics.Snapshot
+	if l.async != nil {
+		// Workers overwrite the recorded snapshot's expensive slots in
+		// place when exact results land; observers get the stable copy
+		// Compute took before dispatch, so a retained slice never
+		// mutates under them.
+		var observed []float64
+		snap, observed = l.async.Compute(l.graph, l.tick)
+		l.snaps = append(l.snaps, snap)
+		snap.Values = observed
+	} else {
+		snap = l.suite.Compute(l.graph, l.tick)
+		l.snaps = append(l.snaps, snap)
+	}
 	for i := 0; i < len(l.observers); i++ {
 		if l.dispatch(l.observers[i], snap) {
 			continue
@@ -434,8 +471,29 @@ func (l *Logger) dispatch(o SampleObserver, snap metrics.Snapshot) (ok bool) {
 // Ticks returns the number of metric computation points sampled.
 func (l *Logger) Ticks() uint64 { return l.tick }
 
+// Join blocks until every in-flight asynchronous metric computation
+// has written its exact results into the recorded snapshots. No-op
+// without MetricWorkers.
+func (l *Logger) Join() {
+	if l.async != nil {
+		l.async.Wait()
+	}
+}
+
+// DrainMetrics joins outstanding asynchronous metric work and stops
+// the metric workers. Call it when the logger is done ingesting (the
+// Pipeline does this in Close); the logger remains usable, but further
+// samples evaluate expensive metrics inline.
+func (l *Logger) DrainMetrics() {
+	if l.async != nil {
+		l.async.Close()
+		l.async = nil
+	}
+}
+
 // Report finalizes and returns the metric report for the run.
 func (l *Logger) Report() *Report {
+	l.Join()
 	names := make([]string, l.suite.Len())
 	for i, id := range l.suite.IDs() {
 		names[i] = id.String()

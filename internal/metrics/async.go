@@ -1,0 +1,217 @@
+// Asynchronous evaluation of the expensive extension metrics. The
+// degree metrics are O(1) histogram reads, but Components and SCCs
+// walk the whole graph; computing them inline at a metric computation
+// point stalls event ingestion for the duration of the walk. The
+// Async evaluator keeps Suite.Compute semantics for the cheap metrics
+// and moves the walks onto worker goroutines: at each sample it
+// freezes the graph's connectivity (one cheap pass), dispatches the
+// component analyses, and fills the snapshot's expensive slots with
+// the most recent completed values; when a worker finishes, it joins
+// the exact results back into the snapshot recorded for its tick.
+// Wait() joins all outstanding work, after which every recorded
+// snapshot holds exact values — the final Report is identical to one
+// computed synchronously.
+package metrics
+
+import (
+	"sync"
+
+	"heapmd/internal/heapgraph"
+)
+
+// expensiveMemo caches the last completed component analyses together
+// with the graph generation they were computed at.
+type expensiveMemo struct {
+	gen    uint64
+	tick   uint64
+	wcc    heapgraph.ComponentStats
+	scc    heapgraph.ComponentStats
+	hasWCC bool
+	hasSCC bool
+	// carry holds the expensive metric *values* of the newest
+	// completed tick, used to pre-fill snapshots while their exact
+	// results are still in flight.
+	carry map[ID]float64
+}
+
+// asyncJob is one tick's expensive-metric computation.
+type asyncJob struct {
+	st   *heapgraph.Structure
+	dest []float64 // the snapshot's Values array, shared by tick
+	tick uint64
+	// positions of the expensive metrics within dest, -1 if absent.
+	wccAt, sccAt int
+}
+
+// Async evaluates a Suite with the expensive extension metrics
+// computed on worker goroutines. Compute must be called from a single
+// goroutine (the monitoring pipeline's consumer); the returned
+// snapshots' expensive slots are filled in place as workers finish.
+type Async struct {
+	suite   Suite
+	wccIdx  int // index of Components in the suite, -1 if absent
+	sccIdx  int
+	jobs    chan asyncJob
+	pending sync.WaitGroup
+	mu      sync.Mutex // guards memo
+	memo    expensiveMemo
+	once    sync.Once
+}
+
+// NewAsync builds an asynchronous evaluator for the suite with the
+// given number of workers (minimum 1). If the suite contains no
+// expensive metrics the evaluator still works and simply never
+// dispatches a job.
+func NewAsync(suite Suite, workers int) *Async {
+	if workers < 1 {
+		workers = 1
+	}
+	a := &Async{
+		suite:  suite,
+		wccIdx: suite.Index(Components),
+		sccIdx: suite.Index(SCCs),
+		// 2x workers of buffer: sampling only blocks when every
+		// worker is busy and the backlog is full, which bounds the
+		// memory pinned by in-flight Structure snapshots.
+		jobs: make(chan asyncJob, 2*workers),
+		memo: expensiveMemo{carry: make(map[ID]float64)},
+	}
+	for i := 0; i < workers; i++ {
+		go a.worker()
+	}
+	return a
+}
+
+// Compute evaluates the suite against g for one tick. Cheap metrics
+// are computed inline; expensive slots receive the newest completed
+// values immediately (zero until the first completion) and are
+// overwritten in place with the tick's exact results once its worker
+// finishes. The second return value is a stable copy of the snapshot's
+// values safe to hand to immediate consumers (observers): once a job
+// is in flight the recorded Values array belongs jointly to the worker,
+// so the copy is taken before dispatch. When no job was dispatched the
+// recorded slice itself is returned (nothing will mutate it).
+func (a *Async) Compute(g *heapgraph.Graph, tick uint64) (Snapshot, []float64) {
+	snap := Snapshot{
+		Tick:     tick,
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Values:   make([]float64, len(a.suite.ids)),
+	}
+	n := snap.Vertices
+	if n == 0 {
+		return snap, snap.Values
+	}
+	pct := func(count int) float64 { return float64(count) / float64(n) * 100 }
+	for i, id := range a.suite.ids {
+		switch id {
+		case Roots:
+			snap.Values[i] = pct(g.CountInDegree(0))
+		case InDeg1:
+			snap.Values[i] = pct(g.CountInDegree(1))
+		case InDeg2:
+			snap.Values[i] = pct(g.CountInDegree(2))
+		case Leaves:
+			snap.Values[i] = pct(g.CountOutDegree(0))
+		case OutDeg1:
+			snap.Values[i] = pct(g.CountOutDegree(1))
+		case OutDeg2:
+			snap.Values[i] = pct(g.CountOutDegree(2))
+		case InEqOut:
+			snap.Values[i] = pct(g.CountInEqOut())
+		}
+	}
+	if a.wccIdx < 0 && a.sccIdx < 0 {
+		return snap, snap.Values
+	}
+
+	// Reuse completed results when the graph has not mutated since
+	// they were computed: no snapshot, no walk, exact values now.
+	gen := g.Generation()
+	a.mu.Lock()
+	if a.memo.gen == gen && (a.wccIdx < 0 || a.memo.hasWCC) && (a.sccIdx < 0 || a.memo.hasSCC) {
+		if a.wccIdx >= 0 {
+			snap.Values[a.wccIdx] = pct(a.memo.wcc.Count)
+		}
+		if a.sccIdx >= 0 {
+			snap.Values[a.sccIdx] = pct(a.memo.scc.Count)
+		}
+		a.mu.Unlock()
+		return snap, snap.Values
+	}
+	// Carry the newest completed values forward so the snapshot's
+	// expensive slots are always defined for immediate consumers
+	// (observers see a slightly stale but real value, never NaN).
+	for id, v := range a.memo.carry {
+		if idx := a.suite.Index(id); idx >= 0 {
+			snap.Values[idx] = v
+		}
+	}
+	a.mu.Unlock()
+
+	// The copy for immediate consumers must precede the dispatch: the
+	// moment the job is on the channel, a worker may overwrite the
+	// recorded array's expensive slots.
+	observed := append([]float64(nil), snap.Values...)
+	a.pending.Add(1)
+	a.jobs <- asyncJob{
+		st:    g.Freeze(),
+		dest:  snap.Values,
+		tick:  tick,
+		wccAt: a.wccIdx,
+		sccAt: a.sccIdx,
+	}
+	return snap, observed
+}
+
+func (a *Async) worker() {
+	for job := range a.jobs {
+		n := job.st.NumVertices()
+		var wcc, scc heapgraph.ComponentStats
+		var wccVal, sccVal float64
+		if job.wccAt >= 0 {
+			wcc = job.st.WeaklyConnectedComponents()
+			wccVal = float64(wcc.Count) / float64(n) * 100
+			job.dest[job.wccAt] = wccVal
+		}
+		if job.sccAt >= 0 {
+			scc = job.st.StronglyConnectedComponents()
+			sccVal = float64(scc.Count) / float64(n) * 100
+			job.dest[job.sccAt] = sccVal
+		}
+		a.mu.Lock()
+		// Jobs can complete out of tick order; only a newer tick may
+		// advance the memo and carry values.
+		if job.tick >= a.memo.tick {
+			a.memo.tick = job.tick
+			a.memo.gen = job.st.Generation()
+			if job.wccAt >= 0 {
+				a.memo.wcc, a.memo.hasWCC = wcc, true
+				a.memo.carry[Components] = wccVal
+			}
+			if job.sccAt >= 0 {
+				a.memo.scc, a.memo.hasSCC = scc, true
+				a.memo.carry[SCCs] = sccVal
+			}
+		}
+		a.mu.Unlock()
+		a.pending.Done()
+	}
+}
+
+// Wait blocks until every dispatched job has joined its results back
+// into the recorded snapshots. After Wait, all snapshots returned by
+// Compute hold exact values.
+func (a *Async) Wait() { a.pending.Wait() }
+
+// Close waits for outstanding work and stops the workers. The
+// evaluator must not be used after Close.
+func (a *Async) Close() {
+	a.once.Do(func() {
+		a.pending.Wait()
+		close(a.jobs)
+	})
+}
+
+// Suite returns the suite the evaluator computes.
+func (a *Async) Suite() Suite { return a.suite }

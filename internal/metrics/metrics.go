@@ -167,9 +167,6 @@ func (s Suite) Compute(g *heapgraph.Graph, tick uint64) Snapshot {
 		return snap
 	}
 	pct := func(count int) float64 { return float64(count) / float64(n) * 100 }
-	// Lazily computed structure stats, shared by both extension
-	// metrics if both are enabled.
-	var wcc, scc *heapgraph.ComponentStats
 	for i, id := range s.ids {
 		switch id {
 		case Roots:
@@ -187,17 +184,13 @@ func (s Suite) Compute(g *heapgraph.Graph, tick uint64) Snapshot {
 		case InEqOut:
 			snap.Values[i] = pct(g.CountInEqOut())
 		case Components:
-			if wcc == nil {
-				st := g.WeaklyConnectedComponents()
-				wcc = &st
-			}
-			snap.Values[i] = float64(wcc.Count) / float64(n) * 100
+			// The cached accessors memoize by the graph's mutation
+			// generation, so consecutive samples over an unchanged
+			// graph skip the walk entirely (and both extension metrics
+			// at one tick share a single generation's computation).
+			snap.Values[i] = float64(g.WeaklyConnectedComponentsCached().Count) / float64(n) * 100
 		case SCCs:
-			if scc == nil {
-				st := g.StronglyConnectedComponents()
-				scc = &st
-			}
-			snap.Values[i] = float64(scc.Count) / float64(n) * 100
+			snap.Values[i] = float64(g.StronglyConnectedComponentsCached().Count) / float64(n) * 100
 		}
 	}
 	return snap
@@ -205,15 +198,30 @@ func (s Suite) Compute(g *heapgraph.Graph, tick uint64) Snapshot {
 
 // Series extracts the time series of a single metric from a sequence
 // of snapshots taken with this suite. It returns nil if the metric is
-// not in the suite.
+// not in the suite. Snapshots narrower than the suite — a v1 trace's
+// report replayed against an extended suite — are skipped rather than
+// indexed out of range; use SeriesChecked to learn how many were.
 func (s Suite) Series(snaps []Snapshot, id ID) []float64 {
+	out, _ := s.SeriesChecked(snaps, id)
+	return out
+}
+
+// SeriesChecked is Series plus a count of snapshots skipped because
+// they carried fewer values than the suite's index for id requires.
+// A nonzero skip count means the snapshots were taken with a
+// different (narrower) suite than s.
+func (s Suite) SeriesChecked(snaps []Snapshot, id ID) (series []float64, skipped int) {
 	idx := s.Index(id)
 	if idx < 0 {
-		return nil
+		return nil, 0
 	}
-	out := make([]float64, len(snaps))
-	for i, sn := range snaps {
-		out[i] = sn.Values[idx]
+	out := make([]float64, 0, len(snaps))
+	for _, sn := range snaps {
+		if idx >= len(sn.Values) {
+			skipped++
+			continue
+		}
+		out = append(out, sn.Values[idx])
 	}
-	return out
+	return out, skipped
 }

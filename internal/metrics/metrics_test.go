@@ -191,3 +191,100 @@ func BenchmarkComputeExtended(b *testing.B) {
 		s.Compute(g, uint64(i))
 	}
 }
+
+// TestSeriesCheckedSkipsNarrowSnapshots: indexing an extended suite
+// into snapshots recorded with the narrower v1 suite must skip (and
+// count) them, not panic.
+func TestSeriesCheckedSkipsNarrowSnapshots(t *testing.T) {
+	ext := ExtendedSuite()
+	narrowW := DefaultSuite().Len() // 7
+	snaps := []Snapshot{
+		{Tick: 1, Values: make([]float64, narrowW)},
+		{Tick: 2, Values: make([]float64, ext.Len())},
+		{Tick: 3, Values: make([]float64, narrowW)},
+		{Tick: 4, Values: make([]float64, ext.Len())},
+	}
+	snaps[1].Values[ext.Index(Components)] = 42
+	snaps[3].Values[ext.Index(Components)] = 43
+
+	series, skipped := ext.SeriesChecked(snaps, Components)
+	if skipped != 2 {
+		t.Errorf("skipped = %d, want 2", skipped)
+	}
+	if len(series) != 2 || series[0] != 42 || series[1] != 43 {
+		t.Errorf("series = %v, want [42 43]", series)
+	}
+
+	// A metric that fits inside the narrow width sees every snapshot.
+	all, skipped := ext.SeriesChecked(snaps, Roots)
+	if skipped != 0 || len(all) != len(snaps) {
+		t.Errorf("cheap metric: skipped=%d len=%d, want 0 and %d", skipped, len(all), len(snaps))
+	}
+
+	// Absent metric: nil series, no skips reported.
+	if s, k := DefaultSuite().SeriesChecked(snaps, Components); s != nil || k != 0 {
+		t.Errorf("absent metric gave (%v, %d)", s, k)
+	}
+}
+
+// TestAsyncMatchesSyncCompute drives the asynchronous evaluator
+// through a mutating graph and verifies that once Wait returns, every
+// recorded snapshot holds exactly the values synchronous evaluation
+// produced at the same points.
+func TestAsyncMatchesSyncCompute(t *testing.T) {
+	suite := ExtendedSuite()
+	a := NewAsync(suite, 3)
+	defer a.Close()
+
+	g := heapgraph.New()
+	var syncSnaps, asyncSnaps []Snapshot
+	next := heapgraph.VertexID(1)
+	for tick := uint64(1); tick <= 40; tick++ {
+		// Grow a few linked chains, occasionally closing cycles.
+		for i := 0; i < 5; i++ {
+			g.AddVertex(next)
+			if next > 1 {
+				g.AddEdge(next-1, next)
+			}
+			next++
+		}
+		if tick%7 == 0 {
+			g.AddEdge(next-1, next-4)
+		}
+		if tick%11 == 0 {
+			g.RemoveVertex(next - 2)
+		}
+		syncSnaps = append(syncSnaps, suite.Compute(g, tick))
+		snap, observed := a.Compute(g, tick)
+		if len(observed) != suite.Len() {
+			t.Fatalf("tick %d: observed width %d, want %d", tick, len(observed), suite.Len())
+		}
+		asyncSnaps = append(asyncSnaps, snap)
+	}
+	a.Wait()
+
+	for i := range syncSnaps {
+		w, g := syncSnaps[i], asyncSnaps[i]
+		if w.Tick != g.Tick || w.Vertices != g.Vertices || w.Edges != g.Edges {
+			t.Fatalf("snapshot %d metadata differs: %+v vs %+v", i, g, w)
+		}
+		for j := range w.Values {
+			if w.Values[j] != g.Values[j] {
+				t.Fatalf("snapshot %d metric %s: async %v, sync %v",
+					i, suite.IDs()[j], g.Values[j], w.Values[j])
+			}
+		}
+	}
+
+	// Quiescent memo hit: with no mutation since the last completed
+	// job, Compute returns exact values immediately.
+	snap, observed := a.Compute(g, 41)
+	want := suite.Compute(g, 41)
+	for j := range want.Values {
+		if snap.Values[j] != want.Values[j] || observed[j] != want.Values[j] {
+			t.Fatalf("memo-hit metric %s: got %v/%v, want %v",
+				suite.IDs()[j], snap.Values[j], observed[j], want.Values[j])
+		}
+	}
+	a.Wait()
+}

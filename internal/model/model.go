@@ -168,9 +168,13 @@ type Model struct {
 }
 
 // SkipStartSamples returns the number of leading samples an online
-// detector should ignore, mirroring the summarizer's startup trim.
+// detector should ignore, mirroring the summarizer's startup trim. It
+// shares stats.TrimCount with stats.Trim so the detector and the
+// summarizer always agree on the ignored prefix — computing the count
+// independently here (the old int(TrimFrac*TrainingSamples)) diverged
+// from Trim's clamping on short runs and out-of-range TrimFrac values.
 func (m *Model) SkipStartSamples() int {
-	return int(m.Thresholds.TrimFrac * float64(m.TrainingSamples))
+	return stats.TrimCount(m.TrainingSamples, m.Thresholds.TrimFrac)
 }
 
 // ClassOf returns the training-time classification of a metric.
@@ -442,10 +446,16 @@ func locallyStable(inputs []InputSummary, th Thresholds) bool {
 	return classified > 0 && float64(nearZeroAvg) >= th.MinStableFraction*float64(classified)
 }
 
+// seriesAt extracts column idx from a report's snapshots. Snapshots
+// narrower than the suite (a v1 report hand-edited or replayed against
+// extended metric names) are skipped rather than indexed out of range.
 func seriesAt(rep *logger.Report, idx int) []float64 {
-	out := make([]float64, len(rep.Snapshots))
-	for i, s := range rep.Snapshots {
-		out[i] = s.Values[idx]
+	out := make([]float64, 0, len(rep.Snapshots))
+	for _, s := range rep.Snapshots {
+		if idx >= len(s.Values) {
+			continue
+		}
+		out = append(out, s.Values[idx])
 	}
 	return out
 }

@@ -7,6 +7,7 @@ import (
 
 	"heapmd/internal/logger"
 	"heapmd/internal/metrics"
+	"heapmd/internal/stats"
 )
 
 // mkReport builds a raw report with the given per-metric series. All
@@ -391,5 +392,42 @@ func TestLocallyStableEnvelopeNotForGloballyStable(t *testing.T) {
 	}
 	if _, ok := res.Model.RangeOf(metrics.Roots); !ok {
 		t.Error("globally stable range missing")
+	}
+}
+
+// TestSkipStartSamplesMatchesTrim is the regression test for the
+// summarizer/detector trim divergence: the online detector's
+// startup-skip window must equal the number of leading samples the
+// summarizer's stats.Trim discards, for every run length and TrimFrac
+// — including the short runs and out-of-range fractions where the old
+// int(TrimFrac*TrainingSamples) formula disagreed with Trim's
+// clamping.
+func TestSkipStartSamplesMatchesTrim(t *testing.T) {
+	lengths := []int{0, 1, 2, 3, 4, 5, 7, 9, 10, 11, 19, 20, 21, 100, 997}
+	fracs := []float64{-0.2, 0, 0.05, 0.10, 0.25, 0.4999, 0.5, 0.9}
+	for _, n := range lengths {
+		for _, frac := range fracs {
+			m := &Model{TrainingSamples: n}
+			m.Thresholds.TrimFrac = frac
+			skip := m.SkipStartSamples()
+			lo, _ := stats.TrimBounds(n, frac)
+			if skip != lo {
+				t.Errorf("n=%d frac=%v: SkipStartSamples=%d, summarizer trims %d", n, frac, skip, lo)
+			}
+			// The skip window must never swallow the whole run the
+			// summarizer calibrated on.
+			if n >= 1 && 2*skip >= n {
+				t.Errorf("n=%d frac=%v: skip=%d leaves no samples", n, frac, skip)
+			}
+		}
+	}
+
+	// The specific divergence the fix closes: a short run with a
+	// half-range fraction. The old formula skipped 5 of 10 samples;
+	// Trim keeps indices [4, 6), so the detector must skip 4.
+	m := &Model{TrainingSamples: 10}
+	m.Thresholds.TrimFrac = 0.5
+	if got := m.SkipStartSamples(); got != 4 {
+		t.Errorf("n=10 frac=0.5: SkipStartSamples = %d, want 4", got)
 	}
 }

@@ -95,6 +95,35 @@ func Fluctuation(xs []float64) []float64 {
 	return out
 }
 
+// TrimCount returns the number of samples Trim discards at EACH end of
+// an n-sample series: the single rounding rule shared by the
+// summarizer's trim (Trim/TrimBounds) and the online detector's
+// startup-skip window (model.SkipStartSamples). Keeping one
+// implementation matters: if the detector computed its own count with
+// different rounding or clamping, it would start checking samples the
+// summarizer's calibration had discarded as startup noise — or keep
+// skipping samples the model was calibrated on. frac is clamped to
+// [0, 0.5); for n >= 1 the clamp guarantees 2*TrimCount(n, frac) < n,
+// so a trimmed series is never empty.
+func TrimCount(n int, frac float64) int {
+	if n <= 0 {
+		return 0
+	}
+	if frac < 0 {
+		frac = 0
+	}
+	if frac >= 0.5 {
+		frac = 0.4999
+	}
+	k := int(float64(n) * frac)
+	if 2*k >= n {
+		// Unreachable for clamped frac (floor(n*frac) < n/2), kept as
+		// a guard so the "never empty" contract survives refactoring.
+		k = (n - 1) / 2
+	}
+	return k
+}
+
 // Trim removes the leading and trailing fraction frac of xs, returning
 // the middle portion. HeapMD uses Trim with frac=0.10 to discard
 // startup and shutdown samples (Section 2.1). frac is clamped to
@@ -104,19 +133,8 @@ func Trim(xs []float64, frac float64) []float64 {
 	if len(xs) == 0 {
 		return nil
 	}
-	if frac < 0 {
-		frac = 0
-	}
-	if frac >= 0.5 {
-		frac = 0.4999
-	}
-	k := int(float64(len(xs)) * frac)
-	lo, hi := k, len(xs)-k
-	if hi <= lo {
-		mid := len(xs) / 2
-		return xs[mid : mid+1]
-	}
-	return xs[lo:hi]
+	k := TrimCount(len(xs), frac)
+	return xs[k : len(xs)-k]
 }
 
 // TrimBounds returns the [lo, hi) index range that Trim would keep.
@@ -124,19 +142,8 @@ func TrimBounds(n int, frac float64) (lo, hi int) {
 	if n == 0 {
 		return 0, 0
 	}
-	if frac < 0 {
-		frac = 0
-	}
-	if frac >= 0.5 {
-		frac = 0.4999
-	}
-	k := int(float64(n) * frac)
-	lo, hi = k, n-k
-	if hi <= lo {
-		mid := n / 2
-		return mid, mid + 1
-	}
-	return lo, hi
+	k := TrimCount(n, frac)
+	return k, n - k
 }
 
 // Range is an inclusive [Min, Max] interval of observed metric values.

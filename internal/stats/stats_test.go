@@ -260,3 +260,42 @@ func BenchmarkSummarize(b *testing.B) {
 		}
 	}
 }
+
+// TestTrimCountProperties pins the single rounding rule shared by the
+// summarizer's trim and the detector's startup-skip window.
+func TestTrimCountProperties(t *testing.T) {
+	fracs := []float64{-1, -0.3, 0, 0.05, 0.1, 0.25, 0.4999, 0.5, 0.75, 1, 2.5}
+	for n := 0; n <= 60; n++ {
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(i)
+		}
+		for _, frac := range fracs {
+			k := TrimCount(n, frac)
+			if k < 0 {
+				t.Fatalf("TrimCount(%d, %v) = %d < 0", n, frac, k)
+			}
+			if n >= 1 && 2*k >= n {
+				t.Fatalf("TrimCount(%d, %v) = %d empties the series", n, frac, k)
+			}
+			lo, hi := TrimBounds(n, frac)
+			if lo != k || hi != n-k {
+				t.Fatalf("TrimBounds(%d, %v) = (%d, %d), want (%d, %d)", n, frac, lo, hi, k, n-k)
+			}
+			trimmed := Trim(xs, frac)
+			if n == 0 {
+				if trimmed != nil {
+					t.Fatalf("Trim(empty) = %v", trimmed)
+				}
+				continue
+			}
+			if len(trimmed) != n-2*k {
+				t.Fatalf("len(Trim(%d, %v)) = %d, want %d", n, frac, len(trimmed), n-2*k)
+			}
+			if trimmed[0] != float64(k) || trimmed[len(trimmed)-1] != float64(n-k-1) {
+				t.Fatalf("Trim(%d, %v) kept [%v, %v], want [%d, %d]",
+					n, frac, trimmed[0], trimmed[len(trimmed)-1], k, n-k-1)
+			}
+		}
+	}
+}
