@@ -356,6 +356,76 @@ func BenchmarkPipelineIngestion(b *testing.B) {
 	})
 }
 
+// BenchmarkStoreHotPath isolates the per-event store path — the code
+// the logger runs for every observed pointer write: two address
+// resolutions (source object, target object), the slot-table update,
+// and the edge retire/install pair on the heap-graph. No sampling, no
+// allocation churn: what remains is pure data-structure cost.
+//
+//   - scatter: source and destination objects change every store, the
+//     worst case for any locality cache.
+//   - burst: a run of stores lands in the same source object before
+//     moving on — the common real-program pattern (object
+//     initialization) that the address index's last-hit cache targets.
+func BenchmarkStoreHotPath(b *testing.B) {
+	const n = 4096 // live objects, power of two
+	setup := func() (*logger.Logger, []uint64) {
+		l := logger.New(logger.Options{Frequency: 1 << 62})
+		addrs := make([]uint64, n)
+		for i := range addrs {
+			addr := uint64(0x100_0000_0000) + uint64(i)*64
+			addrs[i] = addr
+			l.Emit(event.Event{Type: event.Alloc, Addr: addr, Size: 64, Fn: 1})
+		}
+		return l, addrs
+	}
+	b.Run("scatter", func(b *testing.B) {
+		l, addrs := setup()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			src := addrs[i&(n-1)]
+			dst := addrs[(i*31+7)&(n-1)]
+			l.Emit(event.Event{Type: event.Store, Addr: src + 8, Value: dst})
+		}
+	})
+	b.Run("burst", func(b *testing.B) {
+		l, addrs := setup()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// Seven consecutive stores into one object's slots, then
+			// advance to the next object.
+			src := addrs[(i/7)&(n-1)]
+			slot := uint64(i%7+1) * 8
+			dst := addrs[(i*13+5)&(n-1)]
+			l.Emit(event.Event{Type: event.Store, Addr: src + slot, Value: dst})
+		}
+	})
+	// churn: the store-heavy mixed workload the acceptance numbers are
+	// measured on. Each iteration is a batch of eight events — one
+	// free, one re-alloc at the same address, six stores — so the
+	// per-object bookkeeping (object record, slot table, vertex,
+	// adjacency) is allocated and recycled continuously instead of
+	// being amortized away by a one-time warmup, and allocs/op counts
+	// whole batches rather than rounding a fraction down to zero.
+	b.Run("churn", func(b *testing.B) {
+		l, addrs := setup()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := (i * 17) & (n - 1)
+			l.Emit(event.Event{Type: event.Free, Addr: addrs[k]})
+			l.Emit(event.Event{Type: event.Alloc, Addr: addrs[k], Size: 64, Fn: 1})
+			for j := 0; j < 6; j++ {
+				src := addrs[(i*8+j)&(n-1)]
+				dst := addrs[((i*8+j)*31+7)&(n-1)]
+				l.Emit(event.Event{Type: event.Store, Addr: src + 8, Value: dst})
+			}
+		}
+	})
+}
+
 // BenchmarkModelBuild measures summarizer cost at paper-ish training
 // sizes.
 func BenchmarkModelBuild(b *testing.B) {

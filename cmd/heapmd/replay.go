@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"heapmd"
@@ -30,11 +32,38 @@ func cmdReplay(args []string) error {
 	retries := fs.Int("retries", 3, "max retries per read/seek on transient I/O errors")
 	program := fs.String("program", "replayed", "program name recorded in the report")
 	input := fs.String("input", "trace", "input name recorded in the report")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the replay to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile taken after the replay to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *tracePath == "" {
 		return errors.New("replay: -trace is required")
+	}
+	if *cpuProfile != "" {
+		pf, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			pf, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer pf.Close()
+			runtime.GC() // settle the heap so the profile shows live replay state
+			if err := pprof.WriteHeapProfile(pf); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+			}
+		}()
 	}
 	f, err := os.Open(*tracePath)
 	if err != nil {

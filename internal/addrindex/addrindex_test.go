@@ -1,0 +1,315 @@
+package addrindex
+
+import (
+	"testing"
+)
+
+func TestInsertGetRemove(t *testing.T) {
+	tb := New[string]()
+	tb.Insert(100, 24, "a")
+	tb.Insert(200, 8, "b")
+	if tb.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tb.Len())
+	}
+	if v := tb.Get(100); v == nil || *v != "a" {
+		t.Errorf("Get(100) = %v", v)
+	}
+	if v := tb.Get(101); v != nil {
+		t.Error("Get of interior address should fail")
+	}
+	if v, ok := tb.Remove(100); !ok || v != "a" {
+		t.Errorf("Remove(100) = (%q,%v)", v, ok)
+	}
+	if _, ok := tb.Remove(100); ok {
+		t.Error("second Remove(100) should succeed only once")
+	}
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d, want 1", tb.Len())
+	}
+}
+
+func TestStabBasics(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(100, 24, 1)
+	tb.Insert(200, 8, 2)
+
+	base, size, v, ok := tb.Stab(116)
+	if !ok || base != 100 || size != 24 || *v != 1 {
+		t.Errorf("Stab(116) = (%d,%d,%v,%v)", base, size, v, ok)
+	}
+	if _, _, _, ok := tb.Stab(124); ok {
+		t.Error("Stab one-past-end should miss")
+	}
+	if _, _, _, ok := tb.Stab(50); ok {
+		t.Error("Stab below all ranges should miss")
+	}
+	if _, _, _, ok := tb.Stab(150); ok {
+		t.Error("Stab in gap should miss")
+	}
+	if base, _, v, ok := tb.Stab(200); !ok || base != 200 || *v != 2 {
+		t.Error("Stab at exact base should hit")
+	}
+}
+
+// TestStabEdgeCases mirrors the intervals.Map table exactly: the
+// pagemap must implement the same half-open, zero-size-transparent
+// semantics the treap does.
+func TestStabEdgeCases(t *testing.T) {
+	type rng struct {
+		base, size uint64
+		val        int
+	}
+	type probe struct {
+		addr     uint64
+		wantBase uint64
+		wantOK   bool
+	}
+	cases := []struct {
+		name   string
+		ranges []rng
+		probes []probe
+	}{
+		{
+			name:   "half-open end",
+			ranges: []rng{{base: 100, size: 24, val: 1}},
+			probes: []probe{
+				{addr: 100, wantBase: 100, wantOK: true},
+				{addr: 123, wantBase: 100, wantOK: true},
+				{addr: 124, wantOK: false},
+				{addr: 99, wantOK: false},
+			},
+		},
+		{
+			name:   "adjacent ranges share no address",
+			ranges: []rng{{base: 64, size: 32, val: 1}, {base: 96, size: 32, val: 2}},
+			probes: []probe{
+				{addr: 95, wantBase: 64, wantOK: true},
+				{addr: 96, wantBase: 96, wantOK: true},
+				{addr: 127, wantBase: 96, wantOK: true},
+				{addr: 128, wantOK: false},
+			},
+		},
+		{
+			name:   "zero-size range is never stabbed",
+			ranges: []rng{{base: 200, size: 0, val: 1}},
+			probes: []probe{
+				{addr: 200, wantOK: false},
+				{addr: 199, wantOK: false},
+				{addr: 201, wantOK: false},
+			},
+		},
+		{
+			name:   "zero-size range does not shadow its container",
+			ranges: []rng{{base: 100, size: 64, val: 1}, {base: 128, size: 0, val: 2}},
+			probes: []probe{
+				{addr: 127, wantBase: 100, wantOK: true},
+				{addr: 128, wantBase: 100, wantOK: true},
+				{addr: 163, wantBase: 100, wantOK: true},
+				{addr: 164, wantOK: false},
+			},
+		},
+		{
+			name: "range ending at the top of the address space",
+			ranges: []rng{
+				{base: ^uint64(0) - 15, size: 16, val: 1},
+			},
+			probes: []probe{
+				{addr: ^uint64(0) - 16, wantOK: false},
+				{addr: ^uint64(0) - 15, wantBase: ^uint64(0) - 15, wantOK: true},
+				{addr: ^uint64(0), wantBase: ^uint64(0) - 15, wantOK: true},
+				{addr: 0, wantOK: false},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb := New[int]()
+			for _, r := range tc.ranges {
+				tb.Insert(r.base, r.size, r.val)
+			}
+			for _, p := range tc.probes {
+				base, _, _, ok := tb.Stab(p.addr)
+				if ok != p.wantOK || (ok && base != p.wantBase) {
+					t.Errorf("Stab(%#x) = (base=%#x, ok=%v), want (base=%#x, ok=%v)",
+						p.addr, base, ok, p.wantBase, p.wantOK)
+				}
+			}
+			for _, r := range tc.ranges {
+				if v := tb.Get(r.base); v == nil || *v != r.val {
+					t.Errorf("Get(%#x) = %v, want %d", r.base, v, r.val)
+				}
+			}
+		})
+	}
+}
+
+// TestLastHitCacheInvalidation: a removed range must not keep
+// resolving through the last-hit cache, and a recycled arena slot must
+// resolve to its new range only.
+func TestLastHitCacheInvalidation(t *testing.T) {
+	tb := New[int]()
+	tb.Insert(4096, 64, 1)
+	if _, _, _, ok := tb.Stab(4100); !ok {
+		t.Fatal("warm-up stab missed")
+	}
+	tb.Remove(4096)
+	if _, _, _, ok := tb.Stab(4100); ok {
+		t.Fatal("stab hit a removed range via the cache")
+	}
+	// Recycle the slot with a different range.
+	tb.Insert(8192, 32, 2)
+	if _, _, _, ok := tb.Stab(4100); ok {
+		t.Fatal("stab hit the old range after slot recycling")
+	}
+	if base, _, v, ok := tb.Stab(8200); !ok || base != 8192 || *v != 2 {
+		t.Fatalf("stab of recycled slot = (%d,%v,%v)", base, v, ok)
+	}
+}
+
+// TestMultiPageObjects: ranges spanning page and chunk boundaries must
+// resolve from any interior page.
+func TestMultiPageObjects(t *testing.T) {
+	tb := New[int]()
+	const base = uint64(0x100_0000_0000)
+	const size = uint64(5 * pageSize)        // five pages
+	tb.Insert(base-64, 64, 7)                // neighbour before
+	tb.Insert(base, size, 1)                 // the spanning object
+	tb.Insert(base+size, 128, 9)             // neighbour after
+	tb.Insert(base+7*chunkPages*pageSize, 3*chunkPages*pageSize, 2) // spans 3 chunks
+
+	probes := []struct {
+		addr uint64
+		want int
+	}{
+		{base, 1},
+		{base + pageSize, 1},
+		{base + 3*pageSize + 17, 1},
+		{base + size - 1, 1},
+		{base - 1, 7},
+		{base + size, 9},
+		{base + 7*chunkPages*pageSize + chunkPages*pageSize + 5, 2},
+		{base + 10*chunkPages*pageSize - 1, 2},
+	}
+	for _, p := range probes {
+		_, _, v, ok := tb.Stab(p.addr)
+		if !ok || *v != p.want {
+			t.Errorf("Stab(%#x) = (%v,%v), want %d", p.addr, v, ok, p.want)
+		}
+	}
+	if _, ok := tb.Remove(base); !ok {
+		t.Fatal("Remove of spanning object failed")
+	}
+	for _, p := range probes[:4] {
+		if _, _, _, ok := tb.Stab(p.addr); ok {
+			t.Errorf("Stab(%#x) hit after removal", p.addr)
+		}
+	}
+	// Neighbours survive.
+	if _, _, v, ok := tb.Stab(base - 1); !ok || *v != 7 {
+		t.Error("neighbour before lost")
+	}
+	if _, _, v, ok := tb.Stab(base + size); !ok || *v != 9 {
+		t.Error("neighbour after lost")
+	}
+}
+
+// TestHugeObject: a range wider than maxSpanPages goes through the
+// side list with identical semantics.
+func TestHugeObject(t *testing.T) {
+	tb := New[int]()
+	const base = uint64(1) << 40
+	const size = uint64(maxSpanPages+3) * pageSize
+	tb.Insert(base, size, 1)
+	tb.Insert(base-4096, 4096, 2)
+	if _, _, v, ok := tb.Stab(base + size/2); !ok || *v != 1 {
+		t.Fatalf("interior stab of huge object = (%v,%v)", v, ok)
+	}
+	if _, _, _, ok := tb.Stab(base + size); ok {
+		t.Fatal("stab one-past-end of huge object should miss")
+	}
+	if v := tb.Get(base); v == nil || *v != 1 {
+		t.Fatal("Get of huge object failed")
+	}
+	if _, _, v, ok := tb.Stab(base - 1); !ok || *v != 2 {
+		t.Fatal("neighbour of huge object lost")
+	}
+	if _, ok := tb.Remove(base); !ok {
+		t.Fatal("Remove of huge object failed")
+	}
+	if _, _, _, ok := tb.Stab(base + size/2); ok {
+		t.Fatal("huge object still stabbable after removal")
+	}
+	// A pathological size must neither loop nor allocate per page.
+	tb.Insert(64, ^uint64(0)-128, 3)
+	if _, _, v, ok := tb.Stab(1 << 50); !ok || *v != 3 {
+		t.Fatal("pathological range did not resolve")
+	}
+	if _, ok := tb.Remove(64); !ok {
+		t.Fatal("Remove of pathological range failed")
+	}
+}
+
+// TestValuePointerStability: pointers returned by Insert/Get/Stab must
+// allow in-place mutation visible to later queries (until the next
+// Insert/Remove, which the logger respects).
+func TestValuePointerStability(t *testing.T) {
+	tb := New[[2]int]()
+	tb.Insert(4096, 64, [2]int{1, 2})
+	_, _, v, ok := tb.Stab(4100)
+	if !ok {
+		t.Fatal("stab missed")
+	}
+	v[0] = 42
+	if g := tb.Get(4096); g == nil || g[0] != 42 {
+		t.Fatalf("mutation through Stab pointer not visible: %v", g)
+	}
+}
+
+func TestWalkOrdered(t *testing.T) {
+	tb := New[int]()
+	bases := []uint64{1 << 30, 64, 4096, 1 << 20, 8192}
+	for i, b := range bases {
+		tb.Insert(b, 32, i)
+	}
+	tb.Remove(4096)
+	var got []uint64
+	tb.Walk(func(base, size uint64, _ *int) bool {
+		got = append(got, base)
+		return true
+	})
+	want := []uint64{64, 8192, 1 << 20, 1 << 30}
+	if len(got) != len(want) {
+		t.Fatalf("walk visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("walk order %v, want %v", got, want)
+		}
+	}
+	n := 0
+	tb.Walk(func(uint64, uint64, *int) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop walk visited %d, want 1", n)
+	}
+}
+
+// TestArenaRecycling: steady-state free/alloc traffic must reuse arena
+// slots instead of growing the arena.
+func TestArenaRecycling(t *testing.T) {
+	tb := New[int]()
+	for i := 0; i < 64; i++ {
+		tb.Insert(uint64(4096+i*64), 64, i)
+	}
+	grown := len(tb.arena)
+	for round := 0; round < 100; round++ {
+		b := uint64(4096 + (round%64)*64)
+		tb.Remove(b)
+		tb.Insert(b, 64, round)
+	}
+	if len(tb.arena) != grown {
+		t.Fatalf("arena grew from %d to %d under steady-state churn", grown, len(tb.arena))
+	}
+	if tb.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", tb.Len())
+	}
+}

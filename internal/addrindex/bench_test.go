@@ -1,0 +1,104 @@
+package addrindex
+
+import (
+	"testing"
+
+	"heapmd/internal/intervals"
+)
+
+// BenchmarkAddrResolve measures the core hot-path operation — resolve
+// an address to its containing object — on the pagemap table against
+// the treap it replaces, over an identical 64k-object heap image.
+//
+//   - scatter: every probe lands in a different object (cache-hostile).
+//   - burst: runs of consecutive probes land in one object, the
+//     pattern the one-entry last-hit cache targets.
+//   - churn: resolve mixed with insert/remove pairs, the full
+//     alloc/free/store mix the logger generates.
+func BenchmarkAddrResolve(b *testing.B) {
+	const n = 1 << 16
+	const objBytes = 64
+	base := func(i int) uint64 { return uint64(0x100_0000_0000) + uint64(i)*objBytes }
+
+	buildTable := func() *Table[int] {
+		t := New[int]()
+		for i := 0; i < n; i++ {
+			t.Insert(base(i), objBytes, i)
+		}
+		return t
+	}
+	buildTreap := func() *intervals.Map[int] {
+		m := intervals.New[int]()
+		for i := 0; i < n; i++ {
+			m.Insert(base(i), objBytes, i)
+		}
+		return m
+	}
+
+	b.Run("pagemap/scatter", func(b *testing.B) {
+		t := buildTable()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, ok := t.Stab(base((i*31+7)&(n-1)) + 8); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("treap/scatter", func(b *testing.B) {
+		m := buildTreap()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, ok := m.Stab(base((i*31+7)&(n-1)) + 8); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("pagemap/burst", func(b *testing.B) {
+		t := buildTable()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, ok := t.Stab(base((i/8)&(n-1)) + uint64(i%8)*8); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("treap/burst", func(b *testing.B) {
+		m := buildTreap()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, ok := m.Stab(base((i/8)&(n-1)) + uint64(i%8)*8); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("pagemap/churn", func(b *testing.B) {
+		t := buildTable()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := (i * 17) & (n - 1)
+			t.Remove(base(k))
+			t.Insert(base(k), objBytes, i)
+			if _, _, _, ok := t.Stab(base((i*31+7)&(n-1)) + 8); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+	b.Run("treap/churn", func(b *testing.B) {
+		m := buildTreap()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := (i * 17) & (n - 1)
+			m.Remove(base(k))
+			m.Insert(base(k), objBytes, i)
+			if _, _, _, ok := m.Stab(base((i*31+7)&(n-1)) + 8); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+}

@@ -6,6 +6,8 @@ package heapgraph
 // metrics beyond the degree suite). These walk the graph and are
 // therefore much more expensive than the O(1) degree metrics; the
 // logger only evaluates them when the extended metric set is enabled.
+// The arena layout pays off here too: traversal state is slot-indexed
+// slices rather than the maps the old map-of-vertices layout forced.
 
 // ComponentStats summarizes a components decomposition.
 type ComponentStats struct {
@@ -17,34 +19,31 @@ type ComponentStats struct {
 // weakly connected components (edge direction ignored). Isolated
 // vertices are singleton components.
 func (g *Graph) WeaklyConnectedComponents() ComponentStats {
-	seen := make(map[VertexID]bool, len(g.vertices))
+	seen := make([]bool, len(g.ids))
 	var stats ComponentStats
-	stack := make([]VertexID, 0, 64)
-	for root := range g.vertices {
-		if seen[root] {
+	stack := make([]int32, 0, 64)
+	for root := range g.ids {
+		if !g.alive[root] || seen[root] {
 			continue
 		}
 		stats.Count++
 		size := 0
-		stack = append(stack[:0], root)
+		stack = append(stack[:0], int32(root))
 		seen[root] = true
 		for len(stack) > 0 {
-			v := stack[len(stack)-1]
+			s := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			size++
-			vx := g.vertices[v]
-			for s := range vx.out {
-				if !seen[s] {
-					seen[s] = true
-					stack = append(stack, s)
+			visit := func(id VertexID, _ int32) bool {
+				w := g.slotOf(id)
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
 				}
+				return true
 			}
-			for p := range vx.in {
-				if !seen[p] {
-					seen[p] = true
-					stack = append(stack, p)
-				}
-			}
+			g.outAdj[s].each(visit)
+			g.inAdj[s].each(visit)
 		}
 		if size > stats.Largest {
 			stats.Largest = size
@@ -59,47 +58,48 @@ func (g *Graph) WeaklyConnectedComponents() ComponentStats {
 // list structures hundreds of thousands of vertices long, which would
 // overflow the goroutine stack under naive recursion.
 func (g *Graph) StronglyConnectedComponents() ComponentStats {
-	n := len(g.vertices)
-	if n == 0 {
+	n := len(g.ids)
+	if g.NumVertices() == 0 {
 		return ComponentStats{}
 	}
-	index := make(map[VertexID]int, n) // discovery index, 0 = unvisited
-	lowlink := make(map[VertexID]int, n)
-	onStack := make(map[VertexID]bool, n)
-	sccStack := make([]VertexID, 0, 64)
-	next := 1
+	index := make([]int32, n) // discovery index, 0 = unvisited
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	sccStack := make([]int32, 0, 64)
+	next := int32(1)
 
 	var stats ComponentStats
 
-	// frame emulates Tarjan's recursion: iter holds the successors
-	// still to be explored.
+	// frame emulates Tarjan's recursion: succs holds the successor
+	// slots still to be explored.
 	type frame struct {
-		v     VertexID
-		succs []VertexID
+		v     int32
+		succs []int32
 		pos   int
 	}
 
-	succsOf := func(v VertexID) []VertexID {
-		vx := g.vertices[v]
-		if len(vx.out) == 0 {
+	succsOf := func(s int32) []int32 {
+		d := g.outAdj[s].distinct()
+		if d == 0 {
 			return nil
 		}
-		out := make([]VertexID, 0, len(vx.out))
-		for s := range vx.out {
-			out = append(out, s)
-		}
+		out := make([]int32, 0, d)
+		g.outAdj[s].each(func(id VertexID, _ int32) bool {
+			out = append(out, g.slotOf(id))
+			return true
+		})
 		return out
 	}
 
-	for root := range g.vertices {
-		if index[root] != 0 {
+	for root := 0; root < n; root++ {
+		if !g.alive[root] || index[root] != 0 {
 			continue
 		}
-		stack := []frame{{v: root, succs: succsOf(root)}}
+		stack := []frame{{v: int32(root), succs: succsOf(int32(root))}}
 		index[root] = next
 		lowlink[root] = next
 		next++
-		sccStack = append(sccStack, root)
+		sccStack = append(sccStack, int32(root))
 		onStack[root] = true
 
 		for len(stack) > 0 {
@@ -177,26 +177,51 @@ func (g *Graph) StronglyConnectedComponentsCached() ComponentStats {
 }
 
 // CheckInvariants verifies the incremental bookkeeping against a full
-// recomputation: histogram populations, the in==out counter, and the
-// edge total must all match what a fresh scan of the adjacency
-// structure produces. It returns a non-empty description of the first
-// violation found, or "" when consistent. Tests and the fuzzing
-// harness call this after mutation sequences.
+// recomputation: histogram populations, the in==out counter, the edge
+// total, the VertexID → slot index, and the freelist must all match
+// what a fresh scan of the arena produces. It returns a non-empty
+// description of the first violation found, or "" when consistent.
+// Tests and the fuzzing harness call this after mutation sequences.
 func (g *Graph) CheckInvariants() string {
 	var inHist, outHist [maxTracked + 2]int
-	eq, edges := 0, 0
-	for v, vx := range g.vertices {
+	eq, edges, live := 0, 0, 0
+	for s := range g.ids {
+		if !g.alive[s] {
+			continue
+		}
+		live++
+		v := g.ids[s]
+		if g.slotOf(v) != int32(s) {
+			return "index does not resolve vertex " + itoa(uint64(v)) + " to its slot"
+		}
 		in, out := 0, 0
-		for _, m := range vx.in {
-			in += m
+		violation := ""
+		g.inAdj[s].each(func(p VertexID, m int32) bool {
+			if m <= 0 {
+				violation = "non-positive in-multiplicity at vertex " + itoa(uint64(v))
+				return false
+			}
+			in += int(m)
+			return true
+		})
+		if violation != "" {
+			return violation
 		}
-		for _, m := range vx.out {
-			out += m
+		g.outAdj[s].each(func(p VertexID, m int32) bool {
+			if m <= 0 {
+				violation = "non-positive out-multiplicity at vertex " + itoa(uint64(v))
+				return false
+			}
+			out += int(m)
+			return true
+		})
+		if violation != "" {
+			return violation
 		}
-		if in != vx.inDeg {
+		if in != int(g.inDeg[s]) {
 			return "cached indegree mismatch for vertex " + itoa(uint64(v))
 		}
-		if out != vx.outDeg {
+		if out != int(g.outDeg[s]) {
 			return "cached outdegree mismatch for vertex " + itoa(uint64(v))
 		}
 		inHist[bucket(in)]++
@@ -220,15 +245,49 @@ func (g *Graph) CheckInvariants() string {
 	if edges != g.NumEdges() {
 		return "edge count mismatch"
 	}
-	if len(g.vertices) != g.NumVertices() {
+	if live != g.NumVertices() {
 		return "vertex count mismatch"
 	}
-	// Symmetry: u.out[v] must equal v.in[u].
-	for u, ux := range g.vertices {
-		for v, m := range ux.out {
-			if g.vertices[v].in[u] != m {
-				return "adjacency asymmetry between " + itoa(uint64(u)) + " and " + itoa(uint64(v))
+	// Arena accounting: every slot is either alive or on the freelist,
+	// exactly once.
+	for _, s := range g.freeSlots {
+		if g.alive[s] {
+			return "freelist holds a live slot"
+		}
+	}
+	if live+len(g.freeSlots) != len(g.ids) {
+		return "arena slot accounting mismatch"
+	}
+	// Index hygiene: no dense or sparse entry may point at a dead or
+	// mismatched slot.
+	for v, ref := range g.dense {
+		if ref != 0 && (!g.alive[ref-1] || g.ids[ref-1] != VertexID(v)) {
+			return "stale dense index entry for vertex " + itoa(uint64(v))
+		}
+	}
+	for v, ref := range g.sparse {
+		if ref == 0 || !g.alive[ref-1] || g.ids[ref-1] != v {
+			return "stale sparse index entry for vertex " + itoa(uint64(v))
+		}
+	}
+	// Symmetry: u's out-multiplicity to v must equal v's
+	// in-multiplicity from u.
+	for s := range g.ids {
+		if !g.alive[s] {
+			continue
+		}
+		u := g.ids[s]
+		asym := ""
+		g.outAdj[s].each(func(v VertexID, m int32) bool {
+			vs := g.slotOf(v)
+			if vs == noSlot || g.inAdj[vs].get(u) != m {
+				asym = "adjacency asymmetry between " + itoa(uint64(u)) + " and " + itoa(uint64(v))
+				return false
 			}
+			return true
+		})
+		if asym != "" {
+			return asym
 		}
 	}
 	return ""

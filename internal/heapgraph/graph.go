@@ -16,6 +16,18 @@
 // contribute 2 to B's indegree, matching the "number of pointers"
 // reading of degree used by the paper.
 //
+// Storage. Vertices live in a flat arena of parallel slices indexed by
+// slot: ids, in/out degree (struct-of-arrays), and one adjacency set
+// per direction. Freed slots are recycled through a freelist, so
+// steady-state alloc/free traffic performs no heap allocation. The
+// VertexID → slot index is a dense slice while IDs stay near the
+// allocated frontier (the logger hands out sequential IDs, so in
+// practice it always is) with a sparse map fallback for outliers.
+// Adjacency sets inline up to four distinct neighbours per direction
+// and spill to a map beyond that (see adjacency.go); the paper's heap
+// graphs are dominated by degree 0–2 vertices, so the maps — and their
+// allocation and GC-scan cost — all but disappear.
+//
 // Concurrency: the adjacency structure is single-writer — only one
 // goroutine (the monitoring pipeline's consumer) may mutate the graph
 // or walk adjacency. The aggregate counts (CountInDegree,
@@ -41,12 +53,14 @@ type VertexID uint64
 // metrics and diagnostics.
 const maxTracked = 8
 
-type vertex struct {
-	out    map[VertexID]int // successor -> edge multiplicity
-	in     map[VertexID]int // predecessor -> edge multiplicity
-	outDeg int              // total outgoing multiplicity
-	inDeg  int              // total incoming multiplicity
-}
+// denseSlack bounds how far past the current dense-index frontier an
+// ID may land while still growing the dense slice (4 bytes per ID of
+// headroom). IDs further out go to the sparse map instead, so one wild
+// ID from a damaged trace cannot balloon the index.
+const denseSlack = 1 << 16
+
+// noSlot marks an absent vertex in slot lookups.
+const noSlot = int32(-1)
 
 // componentCache memoizes a components decomposition together with the
 // mutation generation it was computed at.
@@ -60,10 +74,24 @@ type componentCache struct {
 // are single-goroutine; the degree/size counters tolerate concurrent
 // readers (see the package comment).
 type Graph struct {
-	vertices map[VertexID]*vertex
-	counts   shardedCounts
-	nVerts   atomic.Int64
-	edges    atomic.Int64 // total edge multiplicity
+	// VertexID → slot+1 (0 = absent). dense covers IDs below its
+	// length; sparse holds the stragglers and is nil until needed.
+	dense  []int32
+	sparse map[VertexID]int32
+
+	// The vertex arena, all indexed by slot.
+	ids    []VertexID
+	inDeg  []int32 // total incoming multiplicity
+	outDeg []int32 // total outgoing multiplicity
+	outAdj []adjacency
+	inAdj  []adjacency
+	alive  []bool
+
+	freeSlots []int32
+
+	counts shardedCounts
+	nVerts atomic.Int64
+	edges  atomic.Int64 // total edge multiplicity
 	// gen counts successful mutations. Metric evaluation uses it to
 	// reuse cached whole-graph analyses and to tag Freeze snapshots.
 	gen atomic.Uint64
@@ -74,7 +102,79 @@ type Graph struct {
 
 // New returns an empty heap-graph.
 func New() *Graph {
-	return &Graph{vertices: make(map[VertexID]*vertex)}
+	return &Graph{}
+}
+
+// slotOf returns v's arena slot, or noSlot.
+func (g *Graph) slotOf(v VertexID) int32 {
+	if uint64(v) < uint64(len(g.dense)) {
+		return g.dense[v] - 1
+	}
+	if g.sparse == nil {
+		return noSlot
+	}
+	return g.sparse[v] - 1
+}
+
+// setSlot records v → slot in the index, growing the dense slice when
+// v is within denseSlack of its frontier and falling back to the
+// sparse map otherwise.
+func (g *Graph) setSlot(v VertexID, slot int32) {
+	if uint64(v) < uint64(len(g.dense)) {
+		g.dense[v] = slot + 1
+		return
+	}
+	if uint64(v) < uint64(len(g.dense))+denseSlack {
+		n := int(v) + 1
+		if cap(g.dense) < n {
+			grown := make([]int32, n, n+n/2+denseSlack)
+			copy(grown, g.dense)
+			g.dense = grown
+		} else {
+			old := len(g.dense)
+			g.dense = g.dense[:n]
+			for i := old; i < n; i++ {
+				g.dense[i] = 0
+			}
+		}
+		g.dense[v] = slot + 1
+		return
+	}
+	if g.sparse == nil {
+		g.sparse = make(map[VertexID]int32)
+	}
+	g.sparse[v] = slot + 1
+}
+
+// clearSlot removes v from the index.
+func (g *Graph) clearSlot(v VertexID) {
+	if uint64(v) < uint64(len(g.dense)) {
+		g.dense[v] = 0
+		return
+	}
+	delete(g.sparse, v)
+}
+
+// newSlot claims an arena slot for v, recycling from the freelist when
+// possible. The slot's adjacency sets are already empty (reset at
+// removal time).
+func (g *Graph) newSlot(v VertexID) int32 {
+	if k := len(g.freeSlots); k > 0 {
+		s := g.freeSlots[k-1]
+		g.freeSlots = g.freeSlots[:k-1]
+		g.ids[s] = v
+		g.inDeg[s], g.outDeg[s] = 0, 0
+		g.alive[s] = true
+		return s
+	}
+	s := int32(len(g.ids))
+	g.ids = append(g.ids, v)
+	g.inDeg = append(g.inDeg, 0)
+	g.outDeg = append(g.outDeg, 0)
+	g.outAdj = append(g.outAdj, adjacency{})
+	g.inAdj = append(g.inAdj, adjacency{})
+	g.alive = append(g.alive, true)
+	return s
 }
 
 func bucket(d int) int {
@@ -100,14 +200,48 @@ func (g *Graph) track(v VertexID, oldIn, oldOut, newIn, newOut int) {
 	}
 }
 
+// trackIn is track specialized for a change that touches only the
+// indegree (a non-self-loop edge mutation changes exactly one degree
+// of each endpoint). Skipping the unchanged direction's remove/re-add
+// pair halves the atomic traffic of the edge hot path — the histogram
+// update is the single most expensive step of a store event.
+func (g *Graph) trackIn(v VertexID, oldIn, newIn, out int) {
+	sh := g.counts.shard(v)
+	if bo, bn := bucket(oldIn), bucket(newIn); bo != bn {
+		sh.inHist[bo].Add(-1)
+		sh.inHist[bn].Add(1)
+	}
+	if oldIn == out {
+		sh.eq.Add(-1)
+	}
+	if newIn == out {
+		sh.eq.Add(1)
+	}
+}
+
+// trackOut is trackIn for the outdegree.
+func (g *Graph) trackOut(v VertexID, in, oldOut, newOut int) {
+	sh := g.counts.shard(v)
+	if bo, bn := bucket(oldOut), bucket(newOut); bo != bn {
+		sh.outHist[bo].Add(-1)
+		sh.outHist[bn].Add(1)
+	}
+	if oldOut == in {
+		sh.eq.Add(-1)
+	}
+	if newOut == in {
+		sh.eq.Add(1)
+	}
+}
+
 // AddVertex inserts a new isolated vertex. Adding an existing vertex
 // is a no-op (the logger can observe redundant allocation events when
 // replaying truncated traces).
 func (g *Graph) AddVertex(v VertexID) {
-	if _, ok := g.vertices[v]; ok {
+	if g.slotOf(v) != noSlot {
 		return
 	}
-	g.vertices[v] = &vertex{}
+	g.setSlot(v, g.newSlot(v))
 	sh := g.counts.shard(v)
 	sh.inHist[0].Add(1)
 	sh.outHist[0].Add(1)
@@ -118,50 +252,58 @@ func (g *Graph) AddVertex(v VertexID) {
 
 // HasVertex reports whether v is present.
 func (g *Graph) HasVertex(v VertexID) bool {
-	_, ok := g.vertices[v]
-	return ok
+	return g.slotOf(v) != noSlot
 }
 
 // RemoveVertex deletes v and every incident edge (in both directions),
 // adjusting the degrees of its neighbours. Removing an absent vertex
 // is a no-op.
 func (g *Graph) RemoveVertex(v VertexID) {
-	vx, ok := g.vertices[v]
-	if !ok {
+	s := g.slotOf(v)
+	if s == noSlot {
 		return
 	}
 	// Detach outgoing edges: each successor loses incoming
-	// multiplicity.
-	for succ, mult := range vx.out {
+	// multiplicity. The callbacks mutate only the neighbours' sets,
+	// never slot s's own, which each() permits.
+	g.outAdj[s].each(func(succ VertexID, mult int32) bool {
+		g.edges.Add(-int64(mult))
 		if succ == v {
-			g.edges.Add(-int64(mult))
-			continue // self-loop dies with the vertex
+			return true // self-loop dies with the vertex
 		}
-		sx := g.vertices[succ]
-		g.track(succ, sx.inDeg, sx.outDeg, sx.inDeg-mult, sx.outDeg)
-		sx.inDeg -= mult
-		delete(sx.in, v)
-		g.edges.Add(-int64(mult))
-	}
+		ss := g.slotOf(succ)
+		in, out := int(g.inDeg[ss]), int(g.outDeg[ss])
+		g.trackIn(succ, in, in-int(mult), out)
+		g.inDeg[ss] -= mult
+		g.inAdj[ss].drop(v)
+		return true
+	})
 	// Detach incoming edges.
-	for pred, mult := range vx.in {
+	g.inAdj[s].each(func(pred VertexID, mult int32) bool {
 		if pred == v {
-			continue // self-loop already handled above
+			return true // self-loop already handled above
 		}
-		px := g.vertices[pred]
-		g.track(pred, px.inDeg, px.outDeg, px.inDeg, px.outDeg-mult)
-		px.outDeg -= mult
-		delete(px.out, v)
+		ps := g.slotOf(pred)
+		in, out := int(g.inDeg[ps]), int(g.outDeg[ps])
+		g.trackOut(pred, in, out, out-int(mult))
+		g.outDeg[ps] -= mult
+		g.outAdj[ps].drop(v)
 		g.edges.Add(-int64(mult))
-	}
+		return true
+	})
 	// Remove v itself from the histograms.
 	sh := g.counts.shard(v)
-	sh.inHist[bucket(vx.inDeg)].Add(-1)
-	sh.outHist[bucket(vx.outDeg)].Add(-1)
-	if vx.inDeg == vx.outDeg {
+	sh.inHist[bucket(int(g.inDeg[s]))].Add(-1)
+	sh.outHist[bucket(int(g.outDeg[s]))].Add(-1)
+	if g.inDeg[s] == g.outDeg[s] {
 		sh.eq.Add(-1)
 	}
-	delete(g.vertices, v)
+	// Reset now (not at reuse) so spill maps become collectable.
+	g.outAdj[s].reset()
+	g.inAdj[s].reset()
+	g.alive[s] = false
+	g.clearSlot(v)
+	g.freeSlots = append(g.freeSlots, s)
 	g.nVerts.Add(-1)
 	g.gen.Add(1)
 }
@@ -170,31 +312,28 @@ func (g *Graph) RemoveVertex(v VertexID) {
 // vertices must exist; AddEdge reports whether the edge was added.
 // Self-loops are permitted (an object can point to itself).
 func (g *Graph) AddEdge(u, v VertexID) bool {
-	ux, ok := g.vertices[u]
-	if !ok {
+	us := g.slotOf(u)
+	if us == noSlot {
 		return false
 	}
-	vx, ok := g.vertices[v]
-	if !ok {
+	vs := g.slotOf(v)
+	if vs == noSlot {
 		return false
 	}
-	if ux.out == nil {
-		ux.out = make(map[VertexID]int)
-	}
-	if vx.in == nil {
-		vx.in = make(map[VertexID]int)
-	}
-	ux.out[v]++
-	vx.in[u]++
+	g.outAdj[us].inc(v)
+	g.inAdj[vs].inc(u)
 	if u == v {
-		g.track(u, ux.inDeg, ux.outDeg, ux.inDeg+1, ux.outDeg+1)
-		ux.inDeg++
-		ux.outDeg++
+		in, out := int(g.inDeg[us]), int(g.outDeg[us])
+		g.track(u, in, out, in+1, out+1)
+		g.inDeg[us]++
+		g.outDeg[us]++
 	} else {
-		g.track(u, ux.inDeg, ux.outDeg, ux.inDeg, ux.outDeg+1)
-		ux.outDeg++
-		g.track(v, vx.inDeg, vx.outDeg, vx.inDeg+1, vx.outDeg)
-		vx.inDeg++
+		in, out := int(g.inDeg[us]), int(g.outDeg[us])
+		g.trackOut(u, in, out, out+1)
+		g.outDeg[us]++
+		in, out = int(g.inDeg[vs]), int(g.outDeg[vs])
+		g.trackIn(v, in, in+1, out)
+		g.inDeg[vs]++
 	}
 	g.edges.Add(1)
 	g.gen.Add(1)
@@ -204,28 +343,25 @@ func (g *Graph) AddEdge(u, v VertexID) bool {
 // RemoveEdge removes one unit of edge multiplicity from u to v,
 // reporting whether an edge was present to remove.
 func (g *Graph) RemoveEdge(u, v VertexID) bool {
-	ux, ok := g.vertices[u]
-	if !ok || ux.out[v] == 0 {
+	us := g.slotOf(u)
+	if us == noSlot || g.outAdj[us].get(v) == 0 {
 		return false
 	}
-	vx := g.vertices[v]
-	ux.out[v]--
-	if ux.out[v] == 0 {
-		delete(ux.out, v)
-	}
-	vx.in[u]--
-	if vx.in[u] == 0 {
-		delete(vx.in, u)
-	}
+	vs := g.slotOf(v) // present by the symmetry invariant
+	g.outAdj[us].dec(v)
+	g.inAdj[vs].dec(u)
 	if u == v {
-		g.track(u, ux.inDeg, ux.outDeg, ux.inDeg-1, ux.outDeg-1)
-		ux.inDeg--
-		ux.outDeg--
+		in, out := int(g.inDeg[us]), int(g.outDeg[us])
+		g.track(u, in, out, in-1, out-1)
+		g.inDeg[us]--
+		g.outDeg[us]--
 	} else {
-		g.track(u, ux.inDeg, ux.outDeg, ux.inDeg, ux.outDeg-1)
-		ux.outDeg--
-		g.track(v, vx.inDeg, vx.outDeg, vx.inDeg-1, vx.outDeg)
-		vx.inDeg--
+		in, out := int(g.inDeg[us]), int(g.outDeg[us])
+		g.trackOut(u, in, out, out-1)
+		g.outDeg[us]--
+		in, out = int(g.inDeg[vs]), int(g.outDeg[vs])
+		g.trackIn(v, in, in-1, out)
+		g.inDeg[vs]--
 	}
 	g.edges.Add(-1)
 	g.gen.Add(1)
@@ -234,11 +370,11 @@ func (g *Graph) RemoveEdge(u, v VertexID) bool {
 
 // Multiplicity returns the number of parallel edges from u to v.
 func (g *Graph) Multiplicity(u, v VertexID) int {
-	ux, ok := g.vertices[u]
-	if !ok {
+	us := g.slotOf(u)
+	if us == noSlot {
 		return 0
 	}
-	return ux.out[v]
+	return int(g.outAdj[us].get(v))
 }
 
 // NumVertices returns the number of vertices. Safe to call
@@ -289,54 +425,46 @@ func (g *Graph) CountInEqOut() int { return g.counts.sumEq() }
 
 // InDegree returns v's indegree (total incoming multiplicity).
 func (g *Graph) InDegree(v VertexID) int {
-	vx, ok := g.vertices[v]
-	if !ok {
+	s := g.slotOf(v)
+	if s == noSlot {
 		return 0
 	}
-	return vx.inDeg
+	return int(g.inDeg[s])
 }
 
 // OutDegree returns v's outdegree.
 func (g *Graph) OutDegree(v VertexID) int {
-	vx, ok := g.vertices[v]
-	if !ok {
+	s := g.slotOf(v)
+	if s == noSlot {
 		return 0
 	}
-	return vx.outDeg
+	return int(g.outDeg[s])
 }
 
 // Successors calls fn for every distinct successor of v with the edge
 // multiplicity; iteration order is unspecified.
 func (g *Graph) Successors(v VertexID, fn func(succ VertexID, mult int) bool) {
-	vx, ok := g.vertices[v]
-	if !ok {
+	s := g.slotOf(v)
+	if s == noSlot {
 		return
 	}
-	for s, m := range vx.out {
-		if !fn(s, m) {
-			return
-		}
-	}
+	g.outAdj[s].each(func(id VertexID, m int32) bool { return fn(id, int(m)) })
 }
 
 // Predecessors calls fn for every distinct predecessor of v with the
 // edge multiplicity.
 func (g *Graph) Predecessors(v VertexID, fn func(pred VertexID, mult int) bool) {
-	vx, ok := g.vertices[v]
-	if !ok {
+	s := g.slotOf(v)
+	if s == noSlot {
 		return
 	}
-	for p, m := range vx.in {
-		if !fn(p, m) {
-			return
-		}
-	}
+	g.inAdj[s].each(func(id VertexID, m int32) bool { return fn(id, int(m)) })
 }
 
 // Vertices calls fn for every vertex; iteration order is unspecified.
 func (g *Graph) Vertices(fn func(VertexID) bool) {
-	for v := range g.vertices {
-		if !fn(v) {
+	for s := range g.ids {
+		if g.alive[s] && !fn(g.ids[s]) {
 			return
 		}
 	}

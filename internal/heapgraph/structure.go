@@ -22,35 +22,44 @@ type Structure struct {
 }
 
 // Freeze snapshots the graph's connectivity. It must be called from
-// the graph's writer goroutine (it walks the adjacency maps), but the
-// returned Structure may then be analysed from any goroutine.
+// the graph's writer goroutine (it walks the adjacency sets), but the
+// returned Structure may then be analysed from any goroutine. The
+// arena layout makes the renumbering pass a linear slice scan — no map
+// is built; the slot → snapshot-index mapping is itself a slice.
 func (g *Graph) Freeze() *Structure {
-	n := len(g.vertices)
+	n := g.NumVertices()
 	st := &Structure{
 		out: make([][]int32, n),
 		in:  make([][]int32, n),
 		gen: g.Generation(),
 	}
-	idx := make(map[VertexID]int32, n)
+	slotIdx := make([]int32, len(g.ids))
 	i := int32(0)
-	for v := range g.vertices {
-		idx[v] = i
-		i++
+	for s := range g.ids {
+		if g.alive[s] {
+			slotIdx[s] = i
+			i++
+		}
 	}
-	for v, vx := range g.vertices {
-		vi := idx[v]
-		if len(vx.out) > 0 {
-			succs := make([]int32, 0, len(vx.out))
-			for s := range vx.out {
-				succs = append(succs, idx[s])
-			}
+	for s := range g.ids {
+		if !g.alive[s] {
+			continue
+		}
+		vi := slotIdx[s]
+		if d := g.outAdj[s].distinct(); d > 0 {
+			succs := make([]int32, 0, d)
+			g.outAdj[s].each(func(id VertexID, _ int32) bool {
+				succs = append(succs, slotIdx[g.slotOf(id)])
+				return true
+			})
 			st.out[vi] = succs
 		}
-		if len(vx.in) > 0 {
-			preds := make([]int32, 0, len(vx.in))
-			for p := range vx.in {
-				preds = append(preds, idx[p])
-			}
+		if d := g.inAdj[s].distinct(); d > 0 {
+			preds := make([]int32, 0, d)
+			g.inAdj[s].each(func(id VertexID, _ int32) bool {
+				preds = append(preds, slotIdx[g.slotOf(id)])
+				return true
+			})
 			st.in[vi] = preds
 		}
 	}

@@ -151,7 +151,24 @@ func (m *Map[V]) Get(base uint64) (V, bool) {
 // Stab returns the base, size and value of the range containing addr.
 // Interior addresses resolve to their containing range, which is how
 // object-granularity heap graphs attribute interior pointers.
+//
+// The intervals are half-open: a stab at exactly base+size misses (it
+// is the first address past the range). Zero-size ranges are
+// degenerate — [base, base) contains no address — so they can never be
+// stabbed and, crucially, are transparent: a zero-size range based
+// inside another range must not shadow the enclosing range from
+// stabbing queries. (A zero-size entry remains reachable by Get and
+// removable by Remove; it simply does not participate in stabs.)
 func (m *Map[V]) Stab(addr uint64) (base, size uint64, value V, ok bool) {
+	// Under the disjointness invariant, the only range that can
+	// contain addr is the non-degenerate range with the largest base
+	// <= addr. The subtraction form of the containment check cannot
+	// overflow (best.base <= addr), so ranges ending at the top of the
+	// address space resolve correctly where base+size would wrap.
+	// Fast path: iterative predecessor descent. Only when the
+	// predecessor turns out to be degenerate (zero-size) does the
+	// slower skipping search run — such entries exist only in
+	// malformed traces, never under a real allocator.
 	var best *node[V]
 	n := m.root
 	for n != nil {
@@ -162,11 +179,36 @@ func (m *Map[V]) Stab(addr uint64) (base, size uint64, value V, ok bool) {
 			n = n.left
 		}
 	}
-	if best != nil && addr < best.base+best.size {
+	if best != nil && best.size == 0 {
+		best = stabDesc(m.root, addr)
+	}
+	if best != nil && addr-best.base < best.size {
 		return best.base, best.size, best.value, true
 	}
 	var zero V
 	return 0, 0, zero, false
+}
+
+// stabDesc finds the node with the largest base <= addr among nodes
+// with size > 0. It prefers the right subtree (larger bases); when the
+// node on the descent path is itself degenerate, candidates remain in
+// its left subtree, so the search falls back there instead of
+// letting the zero-size node mask them. With no degenerate nodes this
+// is the ordinary O(log n) predecessor descent.
+func stabDesc[V any](n *node[V], addr uint64) *node[V] {
+	if n == nil {
+		return nil
+	}
+	if n.base > addr {
+		return stabDesc(n.left, addr)
+	}
+	if r := stabDesc(n.right, addr); r != nil {
+		return r
+	}
+	if n.size > 0 {
+		return n
+	}
+	return stabDesc(n.left, addr)
 }
 
 // Len returns the number of ranges held.

@@ -192,6 +192,117 @@ func TestStabMatchesBruteForce(t *testing.T) {
 	}
 }
 
+// TestStabEdgeCases is the table that locks the half-open interval
+// semantics both this treap and the addrindex pagemap must implement:
+// a stab at exactly base+size misses, zero-size ranges can never be
+// stabbed, and a zero-size range based inside another range does not
+// shadow the enclosing range. Any replacement address-resolution
+// structure is oracle-tested against this exact behaviour.
+func TestStabEdgeCases(t *testing.T) {
+	type rng struct {
+		base, size uint64
+		val        int
+	}
+	type probe struct {
+		addr     uint64
+		wantBase uint64
+		wantOK   bool
+	}
+	cases := []struct {
+		name   string
+		ranges []rng
+		probes []probe
+	}{
+		{
+			name:   "half-open end",
+			ranges: []rng{{base: 100, size: 24, val: 1}},
+			probes: []probe{
+				{addr: 100, wantBase: 100, wantOK: true},  // first byte
+				{addr: 123, wantBase: 100, wantOK: true},  // last byte
+				{addr: 124, wantOK: false},                // exactly base+size
+				{addr: 125, wantOK: false},                // past the end
+				{addr: 99, wantOK: false},                 // just below base
+			},
+		},
+		{
+			name:   "adjacent ranges share no address",
+			ranges: []rng{{base: 64, size: 32, val: 1}, {base: 96, size: 32, val: 2}},
+			probes: []probe{
+				{addr: 95, wantBase: 64, wantOK: true},
+				{addr: 96, wantBase: 96, wantOK: true}, // base+size of the first IS the second's base
+				{addr: 127, wantBase: 96, wantOK: true},
+				{addr: 128, wantOK: false},
+			},
+		},
+		{
+			name:   "zero-size range is never stabbed",
+			ranges: []rng{{base: 200, size: 0, val: 1}},
+			probes: []probe{
+				{addr: 200, wantOK: false},
+				{addr: 199, wantOK: false},
+				{addr: 201, wantOK: false},
+			},
+		},
+		{
+			name: "zero-size range does not shadow its container",
+			// [100,164) contains a degenerate [128,128). Stabs at and
+			// after 128 must still resolve to the container.
+			ranges: []rng{{base: 100, size: 64, val: 1}, {base: 128, size: 0, val: 2}},
+			probes: []probe{
+				{addr: 127, wantBase: 100, wantOK: true},
+				{addr: 128, wantBase: 100, wantOK: true}, // the shadowing case
+				{addr: 163, wantBase: 100, wantOK: true},
+				{addr: 164, wantOK: false},
+			},
+		},
+		{
+			name: "zero-size range between neighbours",
+			ranges: []rng{
+				{base: 0, size: 16, val: 1},
+				{base: 16, size: 0, val: 2},
+				{base: 32, size: 16, val: 3},
+			},
+			probes: []probe{
+				{addr: 15, wantBase: 0, wantOK: true},
+				{addr: 16, wantOK: false}, // past range 1, inside nothing
+				{addr: 31, wantOK: false},
+				{addr: 32, wantBase: 32, wantOK: true},
+			},
+		},
+		{
+			name:   "range ending at the top of the address space",
+			ranges: []rng{{base: ^uint64(0) - 15, size: 16, val: 1}},
+			probes: []probe{
+				{addr: ^uint64(0) - 16, wantOK: false},
+				{addr: ^uint64(0) - 15, wantBase: ^uint64(0) - 15, wantOK: true},
+				{addr: ^uint64(0), wantBase: ^uint64(0) - 15, wantOK: true},
+				{addr: 0, wantOK: false}, // base+size wraps to 0; no false hit
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := New[int]()
+			for _, r := range tc.ranges {
+				m.Insert(r.base, r.size, r.val)
+			}
+			for _, p := range tc.probes {
+				base, _, _, ok := m.Stab(p.addr)
+				if ok != p.wantOK || (ok && base != p.wantBase) {
+					t.Errorf("Stab(%#x) = (base=%#x, ok=%v), want (base=%#x, ok=%v)",
+						p.addr, base, ok, p.wantBase, p.wantOK)
+				}
+			}
+			// Zero-size entries stay reachable by exact-base Get/Remove.
+			for _, r := range tc.ranges {
+				if v, ok := m.Get(r.base); !ok || v != r.val {
+					t.Errorf("Get(%#x) = (%d,%v), want (%d,true)", r.base, v, ok, r.val)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkInsertRemove(b *testing.B) {
 	m := New[int]()
 	b.ReportAllocs()

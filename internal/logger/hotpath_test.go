@@ -1,0 +1,52 @@
+package logger
+
+import (
+	"testing"
+
+	"heapmd/internal/event"
+)
+
+// TestStoreHotPathAllocs is the allocation budget for the per-event
+// hot path, enforced in CI: a steady-state batch of one free, one
+// re-allocation at the same address and six pointer stores must
+// average at most two heap allocations — and with the arena-backed
+// address table, inline slot tables and inline adjacency it actually
+// averages zero. A regression here means some per-event structure
+// went back to allocating (a map, a spilled slot table, a treap
+// node), which is exactly what this PR removed.
+func TestStoreHotPathAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the hot path")
+	}
+	const n = 4096
+	l := New(Options{Frequency: 1 << 62})
+	addrs := make([]uint64, n)
+	for i := range addrs {
+		addr := uint64(0x100_0000_0000) + uint64(i)*64
+		addrs[i] = addr
+		l.Emit(event.Event{Type: event.Alloc, Addr: addr, Size: 64, Fn: 1})
+	}
+	// Warm up: visit every object once so one-time growth (spill maps,
+	// page ref lists, arena capacity) happens before measurement.
+	for i := 0; i < n*8; i++ {
+		src := addrs[i&(n-1)]
+		dst := addrs[(i*31+7)&(n-1)]
+		l.Emit(event.Event{Type: event.Store, Addr: src + 8, Value: dst})
+	}
+	iter := 0
+	avg := testing.AllocsPerRun(2000, func() {
+		i := iter
+		iter++
+		k := (i * 17) & (n - 1)
+		l.Emit(event.Event{Type: event.Free, Addr: addrs[k]})
+		l.Emit(event.Event{Type: event.Alloc, Addr: addrs[k], Size: 64, Fn: 1})
+		for j := 0; j < 6; j++ {
+			src := addrs[(i*8+j)&(n-1)]
+			dst := addrs[((i*8+j)*31+7)&(n-1)]
+			l.Emit(event.Event{Type: event.Store, Addr: src + 8, Value: dst})
+		}
+	})
+	if avg > 2 {
+		t.Fatalf("store hot path allocates %.1f times per 8-event batch; budget is 2", avg)
+	}
+}

@@ -8,8 +8,8 @@
 //   - The logger maintains its own image of heap connectivity rather
 //     than traversing the program's heap, "preserving cache-locality";
 //     here that translates to the logger holding an independent
-//     intervals.Map and per-object edge-slot tables, driven purely by
-//     events.
+//     page-indexed object table (addrindex.Table) and per-object
+//     edge-slot tables, driven purely by events.
 //   - Metric computation points are function entries; metrics are
 //     computed once every Frequency entries (paper: frq = 1/100,000).
 //   - The heap-graph is built at object granularity by default. Field
@@ -23,11 +23,11 @@ package logger
 import (
 	"fmt"
 
+	"heapmd/internal/addrindex"
 	"heapmd/internal/callstack"
 	"heapmd/internal/event"
 	"heapmd/internal/health"
 	"heapmd/internal/heapgraph"
-	"heapmd/internal/intervals"
 	"heapmd/internal/metrics"
 )
 
@@ -101,16 +101,18 @@ type SampleObserver interface {
 	Sample(snap metrics.Snapshot, stack *callstack.Tracker)
 }
 
-// objInfo is the logger's record of one live heap object.
+// objInfo is the logger's record of one live heap object. It is
+// stored by value inside the address table's arena; pointers obtained
+// from Stab/Get are valid until the table's next Insert or Remove.
 type objInfo struct {
 	vertex heapgraph.VertexID // object-granularity vertex
 	base   uint64
 	size   uint64
-	// slots maps word addresses within the object that currently
-	// hold a pointer to the *target vertex* recorded when the write
-	// was observed. At field granularity the map key is the same
+	// slots records which offsets within the object currently hold a
+	// pointer, mapping each to the *target vertex* recorded when the
+	// write was observed. At field granularity the key is the same
 	// but the source vertex is the slot's own word vertex.
-	slots map[uint64]heapgraph.VertexID
+	slots slotTable
 	// wordVertices holds per-word vertex IDs at field granularity;
 	// nil at object granularity.
 	wordVertices []heapgraph.VertexID
@@ -171,7 +173,7 @@ type Logger struct {
 	async *metrics.Async // non-nil when MetricWorkers > 0 and the suite needs it
 
 	graph   *heapgraph.Graph
-	objects *intervals.Map[*objInfo]
+	objects *addrindex.Table[objInfo]
 	stack   *callstack.Tracker
 
 	vertexSeq uint64 // vertex ID generator (generation counter)
@@ -206,7 +208,7 @@ func New(opts Options) *Logger {
 		opts:    opts,
 		suite:   opts.Suite,
 		graph:   heapgraph.New(),
-		objects: intervals.New[*objInfo](),
+		objects: addrindex.New[objInfo](),
 		stack:   callstack.NewTracker(),
 		freed:   make(map[uint64]struct{}),
 	}
@@ -283,7 +285,7 @@ func (l *Logger) newVertex() heapgraph.VertexID {
 }
 
 func (l *Logger) onAlloc(base, size uint64) {
-	info := &objInfo{base: base, size: size, slots: make(map[uint64]heapgraph.VertexID)}
+	info := objInfo{base: base, size: size}
 	if l.opts.Granularity == FieldGranularity {
 		nWords := size / 8
 		info.wordVertices = make([]heapgraph.VertexID, nWords)
@@ -301,7 +303,7 @@ func (l *Logger) onAlloc(base, size uint64) {
 }
 
 func (l *Logger) onFree(base uint64) {
-	info, ok := l.objects.Get(base)
+	info, ok := l.objects.Remove(base)
 	if !ok {
 		// Nothing in the image — but that absence is evidence.
 		if _, was := l.freed[base]; was {
@@ -312,7 +314,6 @@ func (l *Logger) onFree(base uint64) {
 		return
 	}
 	l.freed[base] = struct{}{}
-	l.objects.Remove(base)
 	if info.wordVertices != nil {
 		for _, v := range info.wordVertices {
 			l.graph.RemoveVertex(v)
@@ -323,38 +324,31 @@ func (l *Logger) onFree(base uint64) {
 }
 
 func (l *Logger) onRealloc(oldBase, newBase, newSize uint64) {
-	info, ok := l.objects.Get(oldBase)
+	info, ok := l.objects.Remove(oldBase)
 	if !ok {
 		// Realloc of a freed, never-allocated or interior address.
 		l.health.BadReallocs++
 		return
 	}
-	l.objects.Remove(oldBase)
 	if newBase != oldBase {
 		l.freed[oldBase] = struct{}{} // the old placement is released
 	}
 	delete(l.freed, newBase)
 	if info.wordVertices != nil {
-		l.reallocField(info, oldBase, newBase, newSize)
+		l.reallocField(&info, newBase, newSize)
 		return
 	}
 	// Object granularity: the vertex survives the move; slots beyond
-	// the new size lose their outgoing edges, and slot keys are
-	// rebased.
-	newSlots := make(map[uint64]heapgraph.VertexID, len(info.slots))
-	for addr, target := range info.slots {
-		off := addr - oldBase
-		if off >= newSize {
-			l.graph.RemoveEdge(info.vertex, target)
-			continue
-		}
-		newSlots[newBase+off] = target
-	}
-	info.base, info.size, info.slots = newBase, newSize, newSlots
+	// the new size lose their outgoing edges. Slot keys are offsets,
+	// so the move itself rewrites nothing.
+	info.slots.resize(newSize, func(_ uint64, target heapgraph.VertexID) {
+		l.graph.RemoveEdge(info.vertex, target)
+	})
+	info.base, info.size = newBase, newSize
 	l.objects.Insert(newBase, newSize, info)
 }
 
-func (l *Logger) reallocField(info *objInfo, oldBase, newBase, newSize uint64) {
+func (l *Logger) reallocField(info *objInfo, newBase, newSize uint64) {
 	oldWords := uint64(len(info.wordVertices))
 	newWords := newSize / 8
 	// Shrink: drop vertices past the end (their edges die with them).
@@ -369,25 +363,28 @@ func (l *Logger) reallocField(info *objInfo, oldBase, newBase, newSize uint64) {
 		wv[i] = v
 		l.graph.AddVertex(v)
 	}
-	newSlots := make(map[uint64]heapgraph.VertexID, len(info.slots))
-	for addr, target := range info.slots {
-		off := addr - oldBase
-		if off >= newSize {
-			continue // source vertex already removed above
-		}
-		newSlots[newBase+off] = target
-	}
-	info.base, info.size, info.slots, info.wordVertices = newBase, newSize, newSlots, wv
-	l.objects.Insert(newBase, newSize, info)
+	// Drop the slots whose source word vertex no longer exists — their
+	// edges died with the vertices above, so no drop callback. The
+	// cutoff is the surviving word span, not newSize: with a size not
+	// a multiple of 8, a slot can sit below newSize but inside the
+	// truncated tail word.
+	info.slots.resize(newWords*8, nil)
+	info.base, info.size, info.wordVertices = newBase, newSize, wv
+	l.objects.Insert(newBase, newSize, *info)
 }
 
-// sourceVertex returns the vertex that an edge stored at addr inside
-// info originates from.
-func (l *Logger) sourceVertex(info *objInfo, addr uint64) heapgraph.VertexID {
+// sourceVertex returns the vertex that an edge stored at offset off
+// inside info originates from. The second return is false when the
+// offset has no vertex — the tail bytes of a field-granularity object
+// whose size is not a whole number of words.
+func sourceVertex(info *objInfo, off uint64) (heapgraph.VertexID, bool) {
 	if info.wordVertices != nil {
-		return info.wordVertices[(addr-info.base)/8]
+		if i := off / 8; i < uint64(len(info.wordVertices)) {
+			return info.wordVertices[i], true
+		}
+		return 0, false
 	}
-	return info.vertex
+	return info.vertex, true
 }
 
 // targetVertex resolves a stored word to a vertex if it points into a
@@ -398,29 +395,41 @@ func (l *Logger) targetVertex(value uint64) (heapgraph.VertexID, bool) {
 		return 0, false
 	}
 	if info.wordVertices != nil {
-		return info.wordVertices[(value-base)/8], true
+		if i := (value - base) / 8; i < uint64(len(info.wordVertices)) {
+			return info.wordVertices[i], true
+		}
+		return 0, false
 	}
 	return info.vertex, true
 }
 
 func (l *Logger) onStore(addr, value uint64) {
-	_, _, info, ok := l.objects.Stab(addr)
+	base, _, info, ok := l.objects.Stab(addr)
 	if !ok {
 		// Wild store: not part of the live heap image. The write is
 		// dropped, but its existence is a corruption signal.
 		l.health.WildStores++
 		return
 	}
-	src := l.sourceVertex(info, addr)
+	off := addr - base
+	src, srcOK := sourceVertex(info, off)
+	if !srcOK {
+		// Inside a live object but past its last whole word — no
+		// vertex can anchor the edge, so the write cannot be applied.
+		l.health.WildStores++
+		return
+	}
 	// Retire the slot's previous edge, if any.
-	if oldTarget, had := info.slots[addr]; had {
+	if oldTarget, had := info.slots.get(off); had {
 		l.graph.RemoveEdge(src, oldTarget)
-		delete(info.slots, addr)
+		info.slots.del(off)
 	}
 	// Install the new edge if the value points into a live object.
+	// targetVertex stabs the table but never inserts or removes, so
+	// the info pointer stays valid across it.
 	if target, isPtr := l.targetVertex(value); isPtr {
 		l.graph.AddEdge(src, target)
-		info.slots[addr] = target
+		info.slots.set(off, target, info.size)
 	}
 }
 
