@@ -426,6 +426,105 @@ func BenchmarkStoreHotPath(b *testing.B) {
 	})
 }
 
+// BenchmarkParallelTrain measures the run scheduler: one training
+// fleet (16 parser inputs) executed serially vs on 8 workers. The
+// reports are bit-identical (see TestTrainManyMatchesSerial and the
+// experiments parallel oracle); only wall-clock differs. On a
+// single-core host the workers=8 variant measures scheduler overhead
+// instead of speedup — the ratio approaches the core count as cores
+// are added, since runs share nothing.
+func BenchmarkParallelTrain(b *testing.B) {
+	w, err := workloads.Get("parser")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const fleet = 16
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				reports, err := workloads.Train(w, fleet, workloads.RunConfig{Parallel: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(reports) != fleet {
+					b.Fatalf("%d reports", len(reports))
+				}
+			}
+			b.ReportMetric(float64(fleet)*float64(b.N)/b.Elapsed().Seconds(), "runs/sec")
+		})
+	}
+}
+
+// emitOnlySink hides a sink's EmitBatch so replay falls back to one
+// Emit call per event — the pre-batching baseline.
+type emitOnlySink struct{ s event.Sink }
+
+func (w emitOnlySink) Emit(e event.Event) { w.s.Emit(e) }
+
+// BenchmarkReplayThroughput measures the batched trace replay fast
+// path into a real logger: per-event delivery (the old code path),
+// frame-batched delivery through the batch-sink interface, and
+// batched delivery with the read-ahead decoder goroutine. The
+// frame-decode loop reuses its payload and batch buffers, so the
+// batched variants hold allocs/op flat regardless of trace length.
+func BenchmarkReplayThroughput(b *testing.B) {
+	// Record a real workload trace: function-entry dominated, like the
+	// production traces post-mortem mode replays.
+	w, err := workloads.Get("parser")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tw, err := trace.NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, p, err := workloads.RunLogged(w, w.Inputs(1)[0], workloads.RunConfig{
+		ExtraSinks: []event.Sink{tw},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nEvents := tw.Events()
+	if err := tw.Close(p.Sym()); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	variants := []struct {
+		name string
+		run  func(l *logger.Logger) error
+	}{
+		{"per-event", func(l *logger.Logger) error {
+			_, _, err := trace.Replay(bytes.NewReader(data), emitOnlySink{l})
+			return err
+		}},
+		{"batched", func(l *logger.Logger) error {
+			_, _, err := trace.Replay(bytes.NewReader(data), l)
+			return err
+		}},
+		{"batched-readahead", func(l *logger.Logger) error {
+			_, _, err := trace.ReplayWith(bytes.NewReader(data), l, trace.ReadOptions{ReadAhead: true})
+			return err
+		}},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetBytes(int64(len(data)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				l := logger.New(logger.Options{Frequency: 1024})
+				if err := v.run(l); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(nEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+		})
+	}
+}
+
 // BenchmarkModelBuild measures summarizer cost at paper-ish training
 // sizes.
 func BenchmarkModelBuild(b *testing.B) {

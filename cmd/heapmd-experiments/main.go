@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"heapmd/internal/experiments"
@@ -26,9 +27,10 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 1, 2")
 	exp := flag.String("exp", "", "extra study: injection, thresholds, granularity")
 	quick := flag.Bool("quick", false, "cap input counts for a fast run")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment cells in flight (1 = serial; tables and figures are identical)")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick}
+	cfg := experiments.Config{Quick: *quick, Parallel: *parallel}
 	all := *fig == "" && *table == "" && *exp == ""
 
 	type job struct {

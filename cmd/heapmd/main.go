@@ -9,7 +9,7 @@
 //	heapmd list
 //	heapmd train -workload gzip -inputs 25 -o gzip.model
 //	heapmd check -workload gzip -model gzip.model [-fault dlist-missing-prev[:prob]] [-inputs 5]
-//	heapmd replay -trace run.trace [-model gzip.model] [-salvage]
+//	heapmd replay -trace run.trace [more.trace ...] [-model gzip.model] [-salvage] [-parallel N]
 //	heapmd plot  -workload vpr -metric Outdeg=1 [-model vpr.model] [-fault ...]
 //	heapmd faults
 package main
@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -26,6 +27,7 @@ import (
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
 	"heapmd/internal/plot"
+	"heapmd/internal/sched"
 	"heapmd/internal/workloads"
 )
 
@@ -66,7 +68,7 @@ func usage() {
   heapmd faults                                  list injectable faults
   heapmd train -workload W [-inputs N] -o FILE   build a model from clean runs
   heapmd check -workload W -model FILE [flags]   check held-out runs
-  heapmd replay -trace FILE [flags]              ingest a recorded trace (crash-safe)
+  heapmd replay -trace FILE|DIR [FILE...]        ingest recorded traces (crash-safe, parallel)
   heapmd plot  -workload W -metric M [flags]     plot a metric trajectory`)
 }
 
@@ -103,6 +105,7 @@ func cmdTrain(args []string) error {
 	inputs := fs.Int("inputs", 25, "number of training inputs")
 	out := fs.String("o", "", "output model file (default: stdout)")
 	version := fs.Int("version", 1, "development version (commercial workloads)")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "training runs in flight (1 = serial; results are identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -110,7 +113,7 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	reports, err := workloads.Train(w, *inputs, workloads.RunConfig{Version: *version})
+	reports, err := workloads.Train(w, *inputs, workloads.RunConfig{Version: *version, Parallel: *parallel})
 	if err != nil {
 		return err
 	}
@@ -174,6 +177,7 @@ func cmdCheck(args []string) error {
 	nTest := fs.Int("inputs", 5, "number of held-out inputs to check")
 	skip := fs.Int("skip", 25, "skip the first N inputs (assumed used for training)")
 	version := fs.Int("version", 1, "development version")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "check runs in flight (1 = serial; output is identical)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -190,35 +194,61 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	var plan *faults.Plan
+	var faultName string
+	var faultCfg faults.Config
 	if *faultSpec != "" {
-		fname, cfg, err := parseFault(*faultSpec)
+		faultName, faultCfg, err = parseFault(*faultSpec)
 		if err != nil {
 			return err
 		}
-		plan = faults.NewPlan().Enable(fname, cfg)
 	}
 	all := w.Inputs(*skip + *nTest)
-	total := 0
-	for _, in := range all[*skip:] {
+	held := all[*skip:]
+	// Each held-out run is independent: its own process, logger, and —
+	// because a fault plan carries trigger budgets — its own plan.
+	// Results come back in input order, so the printed report reads the
+	// same at any -parallel setting.
+	type checkOut struct {
+		text     string
+		findings int
+	}
+	outs, err := sched.Map(sched.Workers(*parallel), len(held), func(i int) (checkOut, error) {
+		in := held[i]
+		var plan *faults.Plan
+		if faultName != "" {
+			plan = faults.NewPlan().Enable(faultName, faultCfg)
+		}
+		var b strings.Builder
+		out := checkOut{}
 		rep, p, err := workloads.RunLogged(w, in, workloads.RunConfig{Plan: plan, Version: *version})
 		if err != nil {
-			fmt.Printf("%s: run crashed: %v\n", in.Name, err)
-			continue
+			fmt.Fprintf(&b, "%s: run crashed: %v\n", in.Name, err)
+			out.text = b.String()
+			return out, nil
 		}
 		findings := detect.CheckReport(mdl, rep, detect.Options{})
 		if len(findings) == 0 {
-			fmt.Printf("%s: clean\n", in.Name)
+			fmt.Fprintf(&b, "%s: clean\n", in.Name)
 		} else {
-			total += len(findings)
-			fmt.Printf("%s: %d findings\n", in.Name, len(findings))
+			out.findings = len(findings)
+			fmt.Fprintf(&b, "%s: %d findings\n", in.Name, len(findings))
 			for _, fd := range findings {
-				fmt.Printf("  %s\n", fd.Describe(p.Sym()))
+				fmt.Fprintf(&b, "  %s\n", fd.Describe(p.Sym()))
 			}
 		}
 		if h := rep.Health; !h.Zero() {
-			fmt.Printf("  instrumentation health: %s\n", h.String())
+			fmt.Fprintf(&b, "  instrumentation health: %s\n", h.String())
 		}
+		out.text = b.String()
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, out := range outs {
+		fmt.Print(out.text)
+		total += out.findings
 	}
 	fmt.Printf("total findings: %d\n", total)
 	return nil

@@ -1,8 +1,12 @@
-// The replay subcommand ingests a recorded trace file: the paper's
+// The replay subcommand ingests recorded trace files: the paper's
 // post-mortem usage mode, hardened for production operation. Reads
 // are retried with bounded exponential backoff (traces often live on
 // network filesystems), and -salvage recovers the longest valid
 // prefix of a trace left truncated or corrupted by a crashed run.
+// Several traces — listed as extra arguments, or a directory passed
+// to -trace — replay concurrently on a bounded worker pool, with
+// per-trace summaries printed in argument order and instrumentation
+// health aggregated across the batch.
 package main
 
 import (
@@ -11,34 +15,51 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sort"
+	"strings"
 	"time"
 
 	"heapmd"
+	"heapmd/internal/health"
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
+	"heapmd/internal/sched"
 )
+
+// replayConfig carries the per-trace replay settings of cmdReplay.
+type replayConfig struct {
+	opts    heapmd.ReplayOptions
+	mdl     *model.Model
+	retries int
+	program string
+	input   string
+}
 
 func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
-	tracePath := fs.String("trace", "", "trace file recorded with heapmd.RecordTrace")
-	modelPath := fs.String("model", "", "optional model file: check the replayed report against it")
+	tracePath := fs.String("trace", "", "trace file recorded with heapmd.RecordTrace, or a directory of traces")
+	modelPath := fs.String("model", "", "optional model file: check each replayed report against it")
 	salvage := fs.Bool("salvage", false, "recover the longest valid prefix of a damaged trace")
 	pipelined := fs.Bool("pipelined", false, "decode and apply the trace on separate goroutines (identical report, better throughput)")
+	readAhead := fs.Bool("readahead", false, "decode and CRC-check the next frame while the current one is applied (identical report)")
 	workers := fs.Int("metric-workers", 0, "compute expensive extension metrics on this many workers (0 = inline)")
 	extended := fs.Bool("extended", false, "compute the extended metric suite (adds WCC/SCC structure metrics)")
 	freq := fs.Uint64("freq", 0, "sampling frequency; must match the recording (0 = simulation default)")
 	retries := fs.Int("retries", 3, "max retries per read/seek on transient I/O errors")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "traces replayed in flight (1 = serial; output is identical)")
 	program := fs.String("program", "replayed", "program name recorded in the report")
-	input := fs.String("input", "trace", "input name recorded in the report")
+	input := fs.String("input", "trace", "input name recorded in the report (single trace; multi-trace uses file names)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the replay to this file")
 	memProfile := fs.String("memprofile", "", "write a heap profile taken after the replay to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *tracePath == "" {
-		return errors.New("replay: -trace is required")
+	paths, err := collectTracePaths(*tracePath, fs.Args())
+	if err != nil {
+		return err
 	}
 	if *cpuProfile != "" {
 		pf, err := os.Create(*cpuProfile)
@@ -65,63 +86,173 @@ func cmdReplay(args []string) error {
 			}
 		}()
 	}
-	f, err := os.Open(*tracePath)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	rr := &retryReader{r: f, maxRetries: *retries, backoff: 50 * time.Millisecond}
-
 	var suite metrics.Suite
 	if *extended {
 		suite = metrics.ExtendedSuite()
 	}
-	rep, sym, info, err := heapmd.ReplayTraceWith(rr, *program, *input, heapmd.ReplayOptions{
-		Frequency:     *freq,
-		Salvage:       *salvage,
-		Pipelined:     *pipelined,
-		MetricWorkers: *workers,
-		Suite:         suite,
+	cfg := replayConfig{
+		opts: heapmd.ReplayOptions{
+			Frequency:     *freq,
+			Salvage:       *salvage,
+			Pipelined:     *pipelined,
+			ReadAhead:     *readAhead,
+			MetricWorkers: *workers,
+			Suite:         suite,
+		},
+		retries: *retries,
+		program: *program,
+		input:   *input,
+	}
+	if *modelPath != "" {
+		mf, err := os.Open(*modelPath)
+		if err != nil {
+			return err
+		}
+		cfg.mdl, err = model.Load(mf)
+		mf.Close()
+		if err != nil {
+			return err
+		}
+	}
+	if len(paths) == 1 {
+		out, err := replayOne(paths[0], cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(out.text)
+		return nil
+	}
+	// Multi-trace: fan the files out on the worker pool. Summaries
+	// come back in argument order, and the first failing trace (in
+	// that order) decides the error, so the output is identical at any
+	// -parallel setting.
+	multiCfg := cfg
+	outs, err := sched.Map(sched.Workers(*parallel), len(paths), func(i int) (*replayOut, error) {
+		c := multiCfg
+		c.input = filepath.Base(paths[i])
+		return replayOne(paths[i], c)
 	})
 	if err != nil {
-		if *salvage {
-			return fmt.Errorf("unsalvageable trace: %w", err)
-		}
-		return fmt.Errorf("%w (rerun with -salvage to recover a damaged trace)", err)
-	}
-	fmt.Printf("replayed %d events (%d snapshots, %d symbols) from %s\n",
-		info.EventsRecovered, len(rep.Snapshots), sym.Len(), *tracePath)
-	if info.Salvaged() {
-		fmt.Printf("salvage: %s\n", info)
-	}
-	if rr.retried > 0 {
-		fmt.Printf("transient read errors retried: %d\n", rr.retried)
-	}
-	if h := rep.Health; !h.Zero() {
-		fmt.Printf("instrumentation health: %s\n", h.String())
-	}
-	if *modelPath == "" {
-		return nil
-	}
-	mf, err := os.Open(*modelPath)
-	if err != nil {
 		return err
 	}
-	mdl, err := model.Load(mf)
-	mf.Close()
-	if err != nil {
-		return err
+	var agg health.Counters
+	var events, findings uint64
+	for _, out := range outs {
+		fmt.Print(out.text)
+		agg.Add(out.health)
+		events += out.events
+		findings += uint64(out.findings)
 	}
-	findings := heapmd.Check(mdl, rep)
-	if len(findings) == 0 {
-		fmt.Println("check: clean")
-		return nil
+	fmt.Printf("replayed %d traces: %d events total", len(paths), events)
+	if cfg.mdl != nil {
+		fmt.Printf(", %d findings", findings)
 	}
-	fmt.Printf("check: %d findings\n", len(findings))
-	for _, fd := range findings {
-		fmt.Printf("  %s\n", fd.Describe(sym))
+	fmt.Println()
+	if !agg.Zero() {
+		fmt.Printf("aggregate instrumentation health: %s\n", agg.String())
 	}
 	return nil
+}
+
+// collectTracePaths resolves the -trace flag plus positional
+// arguments into the ordered list of trace files. A directory
+// contributes its regular files sorted by name.
+func collectTracePaths(tracePath string, extra []string) ([]string, error) {
+	var paths []string
+	add := func(p string) error {
+		st, err := os.Stat(p)
+		if err != nil {
+			return err
+		}
+		if !st.IsDir() {
+			paths = append(paths, p)
+			return nil
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		var names []string
+		for _, e := range entries {
+			if !e.IsDir() {
+				names = append(names, e.Name())
+			}
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			paths = append(paths, filepath.Join(p, n))
+		}
+		return nil
+	}
+	if tracePath != "" {
+		if err := add(tracePath); err != nil {
+			return nil, err
+		}
+	}
+	for _, p := range extra {
+		if err := add(p); err != nil {
+			return nil, err
+		}
+	}
+	if len(paths) == 0 {
+		return nil, errors.New("replay: -trace (or trace file arguments) required")
+	}
+	return paths, nil
+}
+
+// replayOut is one trace's replay summary.
+type replayOut struct {
+	text     string
+	events   uint64
+	findings int
+	health   health.Counters
+}
+
+// replayOne ingests a single trace file and renders its summary.
+func replayOne(path string, cfg replayConfig) (*replayOut, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rr := &retryReader{r: f, maxRetries: cfg.retries, backoff: 50 * time.Millisecond}
+
+	rep, sym, info, err := heapmd.ReplayTraceWith(rr, cfg.program, cfg.input, cfg.opts)
+	if err != nil {
+		if cfg.opts.Salvage {
+			return nil, fmt.Errorf("%s: unsalvageable trace: %w", path, err)
+		}
+		return nil, fmt.Errorf("%s: %w (rerun with -salvage to recover a damaged trace)", path, err)
+	}
+	out := &replayOut{events: info.EventsRecovered, health: rep.Health}
+	var b strings.Builder
+	fmt.Fprintf(&b, "replayed %d events (%d snapshots, %d symbols) from %s\n",
+		info.EventsRecovered, len(rep.Snapshots), sym.Len(), path)
+	if info.Salvaged() {
+		fmt.Fprintf(&b, "salvage: %s\n", info)
+	}
+	if rr.retried > 0 {
+		fmt.Fprintf(&b, "transient read errors retried: %d\n", rr.retried)
+	}
+	if h := rep.Health; !h.Zero() {
+		fmt.Fprintf(&b, "instrumentation health: %s\n", h.String())
+	}
+	if cfg.mdl == nil {
+		out.text = b.String()
+		return out, nil
+	}
+	findings := heapmd.Check(cfg.mdl, rep)
+	out.findings = len(findings)
+	if len(findings) == 0 {
+		b.WriteString("check: clean\n")
+	} else {
+		fmt.Fprintf(&b, "check: %d findings\n", len(findings))
+		for _, fd := range findings {
+			fmt.Fprintf(&b, "  %s\n", fd.Describe(sym))
+		}
+	}
+	out.text = b.String()
+	return out, nil
 }
 
 // retryReader wraps an io.ReadSeeker with bounded retry and

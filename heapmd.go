@@ -45,6 +45,7 @@ import (
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
 	"heapmd/internal/prog"
+	"heapmd/internal/sched"
 	"heapmd/internal/stats"
 	"heapmd/internal/trace"
 )
@@ -232,6 +233,39 @@ func (s *Session) AddTraining(r *Run) { s.reports = append(s.reports, r.Report()
 // trace) to the training set.
 func (s *Session) AddReport(rep *Report) { s.reports = append(s.reports, rep) }
 
+// TrainingInput names one training execution and seeds its process.
+type TrainingInput struct {
+	Name string
+	Seed int64
+}
+
+// TrainMany executes body once per input — each against a fresh
+// instrumented Run — and adds the resulting reports to the training
+// set in input order. parallel is the worker count: 0 or 1 runs
+// serially, negative uses GOMAXPROCS. Because every run owns its
+// process and logger, the collected reports (and the error, if any
+// body fails) are identical to a serial loop at any worker count; on
+// error no reports are added. body must not touch shared state without
+// its own synchronization.
+func (s *Session) TrainMany(program string, inputs []TrainingInput, parallel int, body func(*Run, TrainingInput) error) error {
+	workers := parallel
+	if workers < 0 {
+		workers = sched.Workers(0)
+	}
+	reports, err := sched.Map(workers, len(inputs), func(i int) (*Report, error) {
+		run := s.newRun(program, inputs[i].Name, inputs[i].Seed, nil)
+		if err := body(run, inputs[i]); err != nil {
+			return nil, err
+		}
+		return run.Report(), nil
+	})
+	if err != nil {
+		return err
+	}
+	s.reports = append(s.reports, reports...)
+	return nil
+}
+
 // Build runs the metric summarizer over the training reports and
 // returns the model with its classification evidence. Each zero
 // threshold field is defaulted individually, so a caller overriding
@@ -332,6 +366,10 @@ type ReplayOptions struct {
 	// Suite selects the metric suite for the replay; zero value
 	// means the default seven-metric suite.
 	Suite metrics.Suite
+	// ReadAhead CRC-checks and decodes the next trace frame on a
+	// dedicated goroutine while the logger consumes the current one;
+	// see trace.ReadOptions. The report is identical either way.
+	ReadAhead bool
 }
 
 // ReplayTrace replays a recorded trace into a fresh logger and
@@ -366,11 +404,12 @@ func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions
 		info *SalvageInfo
 		err  error
 	)
+	ropts := trace.ReadOptions{ReadAhead: opts.ReadAhead}
 	if opts.Salvage {
-		sym, info, err = trace.Salvage(rd, sink)
+		sym, info, err = trace.SalvageWith(rd, sink, ropts)
 	} else {
 		var n uint64
-		sym, n, err = trace.Replay(rd, sink)
+		sym, n, err = trace.ReplayWith(rd, sink, ropts)
 		info = &SalvageInfo{EventsRecovered: n}
 	}
 	if pipe != nil {

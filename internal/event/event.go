@@ -106,6 +106,31 @@ type SinkFunc func(Event)
 // Emit implements Sink.
 func (f SinkFunc) Emit(e Event) { f(e) }
 
+// BatchSink is an optional extension of Sink for consumers that can
+// accept decoded events a frame at a time. Batch delivery replaces one
+// interface dispatch per event with one per batch, which matters on
+// replay paths pushing tens of millions of events per second. The
+// batch slice is borrowed: it is valid only for the duration of the
+// call and is overwritten afterwards, so implementations must finish
+// with (or copy) it before returning.
+type BatchSink interface {
+	Sink
+	EmitBatch([]Event)
+}
+
+// EmitAll delivers batch through sink's EmitBatch when implemented,
+// falling back to per-event Emit calls. The borrowed-slice contract of
+// BatchSink.EmitBatch applies.
+func EmitAll(sink Sink, batch []Event) {
+	if bs, ok := sink.(BatchSink); ok {
+		bs.EmitBatch(batch)
+		return
+	}
+	for _, e := range batch {
+		sink.Emit(e)
+	}
+}
+
 // Multi fans a single event stream out to several sinks in order.
 type Multi []Sink
 
@@ -134,6 +159,13 @@ func (c *Counter) Emit(e Event) {
 		c.Unknown++
 	}
 	c.Total++
+}
+
+// EmitBatch implements BatchSink.
+func (c *Counter) EmitBatch(batch []Event) {
+	for _, e := range batch {
+		c.Emit(e)
+	}
 }
 
 // Count returns the number of events of type t seen so far.

@@ -16,6 +16,7 @@ import (
 
 	"heapmd/internal/logger"
 	"heapmd/internal/model"
+	"heapmd/internal/sched"
 	"heapmd/internal/workloads"
 )
 
@@ -27,6 +28,20 @@ type Config struct {
 	// Thresholds for the summarizer; zero value means
 	// model.Defaults().
 	Thresholds model.Thresholds
+	// Parallel is the worker count for independent experiment cells
+	// (benchmark rows, per-version training fleets, injection
+	// scenarios): 0 runs serially, <0 uses GOMAXPROCS. Every
+	// experiment aggregates cell results in deterministic cell order,
+	// so outputs are bit-identical to a serial run.
+	Parallel int
+}
+
+// workers resolves Parallel into a concrete worker count (0 = serial).
+func (c Config) workers() int {
+	if c.Parallel == 0 {
+		return 1
+	}
+	return sched.Workers(c.Parallel)
 }
 
 func (c Config) thresholds() model.Thresholds {

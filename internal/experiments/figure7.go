@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"heapmd/internal/model"
+	"heapmd/internal/sched"
 	"heapmd/internal/workloads"
 )
 
@@ -61,12 +62,16 @@ type Figure7AResult struct {
 // benchmark on its training inputs, summarize, and report the
 // designated example metric's statistics.
 func Figure7A(cfg Config) (*Figure7AResult, error) {
-	res := &Figure7AResult{}
-	for _, w := range workloads.All() {
+	ws := workloads.All()
+	// Each benchmark row is an independent training fleet; rows come
+	// back in benchmark order, so the table is bit-identical to a
+	// serial run at any worker count.
+	rows, err := sched.Map(cfg.workers(), len(ws), func(i int) (Figure7Row, error) {
+		w := ws[i]
 		n := cfg.cap(paperInputs(w.Name()))
 		_, build, err := train(w, n, cfg)
 		if err != nil {
-			return nil, err
+			return Figure7Row{}, err
 		}
 		row := Figure7Row{
 			Benchmark:   w.Name(),
@@ -83,9 +88,12 @@ func Figure7A(cfg Config) (*Figure7AResult, error) {
 				row.Min, row.Max = mr.Range.Min, mr.Range.Max
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure7AResult{Rows: rows}, nil
 }
 
 // String prints the table with paper values alongside.
@@ -158,7 +166,24 @@ func Figure7B(cfg Config) (*Figure7BResult, error) {
 	if cfg.Quick {
 		versions = 2
 	}
-	for _, w := range workloads.Commercials() {
+	ws := workloads.Commercials()
+	// The experiment cells are the (benchmark, version) pairs — each
+	// an independent training fleet. Train and summarize them on the
+	// worker pool, then fold per-version builds into rows serially in
+	// cell order so the aggregation is order-identical to the old
+	// nested loops.
+	builds, err := sched.Map(cfg.workers(), len(ws)*versions, func(idx int) (*model.BuildResult, error) {
+		w, v := ws[idx/versions], idx%versions+1
+		reports, err := workloads.Train(w, nInputs, workloads.RunConfig{Version: v})
+		if err != nil {
+			return nil, err
+		}
+		return model.Build(reports, cfg.thresholds())
+	})
+	if err != nil {
+		return nil, err
+	}
+	for wi, w := range ws {
 		row := Figure7BRow{
 			Benchmark:     w.Name(),
 			Inputs:        nInputs,
@@ -169,14 +194,7 @@ func Figure7B(cfg Config) (*Figure7BResult, error) {
 		stableInAll := map[string]int{}
 		exampleStableVersions := 0
 		for v := 1; v <= versions; v++ {
-			reports, err := workloads.Train(w, nInputs, workloads.RunConfig{Version: v})
-			if err != nil {
-				return nil, err
-			}
-			build, err := model.Build(reports, cfg.thresholds())
-			if err != nil {
-				return nil, err
-			}
+			build := builds[wi*versions+v-1]
 			for _, mr := range build.Reports {
 				if mr.Class == model.GloballyStable {
 					stableInAll[mr.Metric]++

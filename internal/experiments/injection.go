@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"heapmd/internal/faults"
+	"heapmd/internal/sched"
 )
 
 // InjectionRow is one (SPEC benchmark, injected bug) outcome of the
@@ -39,21 +40,25 @@ func specInjectionScenarios() []Scenario {
 // SPECInjection injects one bug into each of five SPEC-like
 // benchmarks and checks HeapMD detects it against a clean model.
 func SPECInjection(cfg Config) (*InjectionResult, error) {
-	res := &InjectionResult{}
-	for _, sc := range specInjectionScenarios() {
+	scs := specInjectionScenarios()
+	rows, err := sched.Map(cfg.workers(), len(scs), func(i int) (InjectionRow, error) {
+		sc := scs[i]
 		trainN := cfg.cap(paperInputs(sc.Workload))
 		out, err := runScenario(sc, trainN, cfg.capTest(6), cfg, false)
 		if err != nil {
-			return nil, err
+			return InjectionRow{}, err
 		}
-		res.Rows = append(res.Rows, InjectionRow{
+		return InjectionRow{
 			Benchmark: sc.Workload,
 			Fault:     sc.Fault,
 			Detected:  out.HeapMD,
 			Metric:    out.Metric,
-		})
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &InjectionResult{Rows: rows}, nil
 }
 
 // String prints the injection study outcome.

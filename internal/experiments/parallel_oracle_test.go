@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The parallel-determinism oracle: every experiment must print the
+// same bytes whether its cells run serially or on a worker pool. This
+// is the contract that makes -parallel safe to default on — nobody
+// should ever have to wonder whether a table differs because of
+// scheduling.
+
+func TestParallelOracleFigure7A(t *testing.T) {
+	serial, err := Figure7A(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure7A(Config{Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.String(), par.String(); s != p {
+		t.Errorf("Figure 7A diverges under parallel execution\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+}
+
+func TestParallelOracleFigure7B(t *testing.T) {
+	serial, err := Figure7B(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure7B(Config{Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.String(), par.String(); s != p {
+		t.Errorf("Figure 7B diverges under parallel execution\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+}
+
+func TestParallelOracleTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full Table 2 censuses; skipped in -short")
+	}
+	serial, err := Table2(Config{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Table2(Config{Quick: true, Parallel: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.String(), par.String(); s != p {
+		t.Errorf("Table 2 diverges under parallel execution\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+}

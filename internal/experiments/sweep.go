@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"heapmd/internal/model"
+	"heapmd/internal/sched"
 	"heapmd/internal/workloads"
 )
 
@@ -50,16 +51,16 @@ func ThresholdSweep(cfg Config) (*ThresholdSweepResult, error) {
 	if cfg.Quick {
 		benchmarks = benchmarks[:2]
 	}
-	res := &ThresholdSweepResult{}
-	for _, name := range benchmarks {
+	rows, err := sched.Map(cfg.workers(), len(benchmarks), func(i int) (SweepRow, error) {
+		name := benchmarks[i]
 		w, err := workloads.Get(name)
 		if err != nil {
-			return nil, err
+			return SweepRow{}, err
 		}
 		n := cfg.cap(paperInputs(name))
 		reports, err := workloads.Train(w, n, workloads.RunConfig{})
 		if err != nil {
-			return nil, err
+			return SweepRow{}, err
 		}
 		row := SweepRow{Benchmark: name}
 		for _, set := range sweepSettings {
@@ -68,7 +69,7 @@ func ThresholdSweep(cfg Config) (*ThresholdSweepResult, error) {
 			th.MaxStdDev = set.std
 			build, err := model.Build(reports, th)
 			if err != nil {
-				return nil, err
+				return SweepRow{}, err
 			}
 			pt := SweepPoint{MaxAvgChange: set.avg, MaxStdDev: set.std, StableCount: build.StableCount()}
 			row.Points = append(row.Points, pt)
@@ -76,9 +77,12 @@ func ThresholdSweep(cfg Config) (*ThresholdSweepResult, error) {
 				row.BaselineStable = pt.StableCount
 			}
 		}
-		res.Rows = append(res.Rows, row)
+		return row, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &ThresholdSweepResult{Rows: rows}, nil
 }
 
 // String prints the sweep grid.

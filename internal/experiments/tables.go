@@ -7,6 +7,7 @@ import (
 	"heapmd/internal/detect"
 	"heapmd/internal/event"
 	"heapmd/internal/faults"
+	"heapmd/internal/sched"
 	"heapmd/internal/swat"
 	"heapmd/internal/workloads"
 )
@@ -192,21 +193,28 @@ func Table1(cfg Config) (*Table1Result, error) {
 		"game_sim":   {4, 1, 3, 0},
 	}
 	trainN, testN := cfg.cap(25), cfg.capTest(8)
+	// Every scenario — and later every application's clean-run
+	// false-positive sweep — is an independent cell: it trains its own
+	// model and runs its own inputs. Fan the cells out on the worker
+	// pool, then fold the ordered results exactly as the serial loops
+	// did, so the table is bit-identical at any worker count.
+	scs := table1Scenarios()
+	outcomes, err := sched.Map(cfg.workers(), len(scs), func(i int) (*scenarioOutcome, error) {
+		return runScenario(scs[i], trainN, testN, cfg, true)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table1Result{Outcomes: outcomes}
 	found := map[string]*Table1Row{}
-	res := &Table1Result{}
-	for _, sc := range table1Scenarios() {
-		out, err := runScenario(sc, trainN, testN, cfg, true)
-		if err != nil {
-			return nil, err
-		}
-		res.Outcomes = append(res.Outcomes, out)
+	for _, out := range outcomes {
+		sc := out.Scenario
 		row := found[sc.Workload]
 		if row == nil {
 			p := paper[sc.Workload]
 			row = &Table1Row{Program: sc.Workload,
 				PaperSWAT: p[0], PaperSWATFP: p[1], PaperHeapMD: p[2], PaperHeapMDFP: p[3]}
 			found[sc.Workload] = row
-			res.Rows = append(res.Rows, Table1Row{})
 		}
 		if out.SWATFound {
 			row.SWATLeaks++
@@ -218,20 +226,24 @@ func Table1(cfg Config) (*Table1Result, error) {
 	// False positives: clean runs — HeapMD range violations and SWAT
 	// reports at sites no scenario leaks from.
 	knownLeakSites := map[string]map[string]bool{}
-	for _, sc := range table1Scenarios() {
+	for _, sc := range scs {
 		if knownLeakSites[sc.Workload] == nil {
 			knownLeakSites[sc.Workload] = map[string]bool{}
 		}
 		knownLeakSites[sc.Workload][sc.LeakSite] = true
 	}
-	for _, name := range []string{"multimedia", "webapp", "game_sim"} {
+	names := []string{"multimedia", "webapp", "game_sim"}
+	type fpCount struct{ heapmd, swat int }
+	fps, err := sched.Map(cfg.workers(), len(names), func(i int) (fpCount, error) {
+		name := names[i]
+		var fp fpCount
 		w, err := workloads.Get(name)
 		if err != nil {
-			return nil, err
+			return fp, err
 		}
 		_, build, err := train(w, trainN, cfg)
 		if err != nil {
-			return nil, err
+			return fp, err
 		}
 		all := w.Inputs(trainN + testN)
 		for _, in := range all[trainN:] {
@@ -240,22 +252,27 @@ func Table1(cfg Config) (*Table1Result, error) {
 				ExtraSinks: []event.Sink{sw},
 			})
 			if err != nil {
-				return nil, err
+				return fp, err
 			}
 			for _, f := range detect.CheckReport(build.Model, rep, detect.Options{}) {
 				if f.Kind == detect.RangeViolation {
-					found[name].HeapMDFP++
+					fp.heapmd++
 				}
 			}
 			for _, l := range sw.Report(p.Sym()) {
 				if !knownLeakSites[name][l.SiteName] {
-					found[name].SWATFP++
+					fp.swat++
 				}
 			}
 		}
+		return fp, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	res.Rows = res.Rows[:0]
-	for _, name := range []string{"multimedia", "webapp", "game_sim"} {
+	for i, name := range names {
+		found[name].HeapMDFP = fps[i].heapmd
+		found[name].SWATFP = fps[i].swat
 		res.Rows = append(res.Rows, *found[name])
 	}
 	return res, nil
@@ -384,13 +401,19 @@ func Table2(cfg Config) (*Table2Result, error) {
 			PaperTypos: p[0], PaperShared: p[1], PaperInvariants: p[2], PaperIndirect: p[3],
 		}
 	}
-	res := &Table2Result{}
-	for _, sc := range table2Scenarios() {
-		out, err := runScenario(sc, trainN, testN, cfg, false)
-		if err != nil {
-			return nil, err
-		}
-		res.Outcomes = append(res.Outcomes, out)
+	// The 40 scenarios and the five clean-run sweeps are independent
+	// cells; run them on the worker pool and aggregate in cell order
+	// (see Table1 for the determinism argument).
+	scs := table2Scenarios()
+	outcomes, err := sched.Map(cfg.workers(), len(scs), func(i int) (*scenarioOutcome, error) {
+		return runScenario(scs[i], trainN, testN, cfg, false)
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Table2Result{Outcomes: outcomes}
+	for _, out := range outcomes {
+		sc := out.Scenario
 		rows[sc.Workload].Planted[sc.Category]++
 		res.TotalPlanted++
 		if out.HeapMD {
@@ -399,29 +422,35 @@ func Table2(cfg Config) (*Table2Result, error) {
 		}
 	}
 	// Clean-run false positives per application.
-	for _, name := range order {
-		w, err := workloads.Get(name)
+	fps, err := sched.Map(cfg.workers(), len(order), func(i int) (int, error) {
+		w, err := workloads.Get(order[i])
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		_, build, err := train(w, trainN, cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
+		falsePos := 0
 		all := w.Inputs(trainN + testN)
 		for _, in := range all[trainN:] {
 			rep, _, err := workloads.RunLogged(w, in, workloads.RunConfig{})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			for _, f := range detect.CheckReport(build.Model, rep, detect.Options{}) {
 				if f.Kind == detect.RangeViolation {
-					rows[name].FalsePos++
+					falsePos++
 				}
 			}
 		}
+		return falsePos, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, name := range order {
+	for i, name := range order {
+		rows[name].FalsePos = fps[i]
 		res.Rows = append(res.Rows, *rows[name])
 	}
 	return res, nil

@@ -279,6 +279,16 @@ func (l *Logger) Emit(e event.Event) {
 	}
 }
 
+// EmitBatch implements event.BatchSink: one devirtualized dispatch per
+// frame of replayed events instead of one interface call per event.
+// The batch slice is borrowed (see event.BatchSink) and fully consumed
+// before return.
+func (l *Logger) EmitBatch(batch []event.Event) {
+	for _, e := range batch {
+		l.Emit(e)
+	}
+}
+
 func (l *Logger) newVertex() heapgraph.VertexID {
 	l.vertexSeq++
 	return heapgraph.VertexID(l.vertexSeq)

@@ -183,6 +183,24 @@ func (pr *Producer) Emit(e event.Event) {
 	}
 }
 
+// EmitBatch implements event.BatchSink: bulk-append the borrowed batch
+// into the producer's private buffer, flushing at batch-size
+// boundaries. Events are copied before return, honouring the
+// borrowed-slice contract.
+func (pr *Producer) EmitBatch(batch []event.Event) {
+	for len(batch) > 0 {
+		n := pr.p.opts.BatchSize - len(pr.buf)
+		if n > len(batch) {
+			n = len(batch)
+		}
+		pr.buf = append(pr.buf, batch[:n]...)
+		batch = batch[n:]
+		if len(pr.buf) >= pr.p.opts.BatchSize {
+			pr.flush()
+		}
+	}
+}
+
 // Flush sends any buffered events without waiting for a full batch.
 func (pr *Producer) Flush() {
 	if len(pr.buf) > 0 {

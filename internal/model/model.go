@@ -330,14 +330,20 @@ func Build(reports []*logger.Report, th Thresholds) (*BuildResult, error) {
 		},
 	}
 
+	res.Reports = make([]MetricReport, 0, len(suite))
+	// One scratch series, reused across every (metric, report) pair:
+	// Trim subslices it and Summarize consumes it before the next
+	// iteration overwrites it, so nothing escapes.
+	var scratch []float64
 	for mi, name := range suite {
-		mr := MetricReport{Metric: name}
+		mr := MetricReport{Metric: name, Inputs: make([]InputSummary, 0, len(reports))}
 		var stableRange stats.Range
 		haveRange := false
 		var sumAvg, sumStd float64
 		classified := 0
 		for _, rep := range reports {
-			series := seriesAt(rep, mi)
+			scratch = seriesInto(scratch[:0], rep, mi)
+			series := scratch
 			trimmed := stats.Trim(series, th.TrimFrac)
 			if len(trimmed) < th.MinSamples {
 				mr.Inputs = append(mr.Inputs, InputSummary{Input: rep.Input, Skipped: true})
@@ -446,18 +452,19 @@ func locallyStable(inputs []InputSummary, th Thresholds) bool {
 	return classified > 0 && float64(nearZeroAvg) >= th.MinStableFraction*float64(classified)
 }
 
-// seriesAt extracts column idx from a report's snapshots. Snapshots
-// narrower than the suite (a v1 report hand-edited or replayed against
-// extended metric names) are skipped rather than indexed out of range.
-func seriesAt(rep *logger.Report, idx int) []float64 {
-	out := make([]float64, 0, len(rep.Snapshots))
+// seriesInto appends column idx of a report's snapshots to dst and
+// returns it, letting Build reuse one buffer for every extraction.
+// Snapshots narrower than the suite (a v1 report hand-edited or
+// replayed against extended metric names) are skipped rather than
+// indexed out of range.
+func seriesInto(dst []float64, rep *logger.Report, idx int) []float64 {
 	for _, s := range rep.Snapshots {
 		if idx >= len(s.Values) {
 			continue
 		}
-		out = append(out, s.Values[idx])
+		dst = append(dst, s.Values[idx])
 	}
-	return out
+	return dst
 }
 
 func abs(x float64) float64 {

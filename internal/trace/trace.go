@@ -312,14 +312,37 @@ func decodeRecord(b []byte) event.Event {
 	}
 }
 
+// ReadOptions configure the replay fast path; the zero value is the
+// default synchronous reader.
+type ReadOptions struct {
+	// ReadAhead CRC-checks and decodes frame N+1 on a dedicated
+	// goroutine while the sink consumes frame N, overlapping I/O,
+	// checksumming and record decoding with heap-image mutation.
+	// Event order and every success/corruption outcome are identical
+	// to the synchronous reader. Applies to v2 traces; v1 traces
+	// (unframed) always read synchronously.
+	ReadAhead bool
+}
+
 // Replay reads a trace (either format version) and delivers every
 // event to sink in order. It returns the reconstructed symbol table
 // and the number of events replayed. Replay is strict: any damage
 // yields ErrCorrupt (events before the damage may already have been
 // delivered). Use Salvage to recover the valid prefix of a damaged
 // trace instead.
+//
+// Events are delivered a frame at a time through event.EmitAll: a sink
+// implementing event.BatchSink receives each frame's records as one
+// borrowed []event.Event batch instead of one Emit call per record.
+// The frame-decode loop reuses its payload and batch buffers, so
+// steady-state replay allocates nothing per frame.
 func Replay(r io.ReadSeeker, sink event.Sink) (*event.Symtab, uint64, error) {
-	sym, n, _, err := replay(r, sink, false)
+	return ReplayWith(r, sink, ReadOptions{})
+}
+
+// ReplayWith is Replay with control over the reader (see ReadOptions).
+func ReplayWith(r io.ReadSeeker, sink event.Sink, opts ReadOptions) (*event.Symtab, uint64, error) {
+	sym, n, _, err := replay(r, sink, false, opts)
 	return sym, n, err
 }
 
@@ -328,11 +351,16 @@ func Replay(r io.ReadSeeker, sink event.Sink) (*event.Symtab, uint64, error) {
 // and what was lost. It fails only when not even the 8-byte header
 // survives (nothing to salvage) or the version is unknown.
 func Salvage(r io.ReadSeeker, sink event.Sink) (*event.Symtab, *SalvageInfo, error) {
-	sym, _, info, err := replay(r, sink, true)
+	return SalvageWith(r, sink, ReadOptions{})
+}
+
+// SalvageWith is Salvage with control over the reader (see ReadOptions).
+func SalvageWith(r io.ReadSeeker, sink event.Sink, opts ReadOptions) (*event.Symtab, *SalvageInfo, error) {
+	sym, _, info, err := replay(r, sink, true, opts)
 	return sym, info, err
 }
 
-func replay(r io.ReadSeeker, sink event.Sink, salvage bool) (*event.Symtab, uint64, *SalvageInfo, error) {
+func replay(r io.ReadSeeker, sink event.Sink, salvage bool, opts ReadOptions) (*event.Symtab, uint64, *SalvageInfo, error) {
 	size, err := r.Seek(0, io.SeekEnd)
 	if err != nil {
 		return nil, 0, nil, err
@@ -351,17 +379,158 @@ func replay(r io.ReadSeeker, sink event.Sink, salvage bool) (*event.Symtab, uint
 	case VersionV1:
 		return replayV1(r, sink, size, salvage)
 	case Version:
-		return replayV2(r, sink, size, salvage)
+		return replayV2(r, sink, size, salvage, opts)
 	default:
 		return nil, 0, nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 }
 
+// frameBuf is the reusable scratch storage for one decoded frame: the
+// raw payload bytes and, for event frames, the decoded records. Both
+// slices are recycled across frames, so steady-state frame decoding
+// performs no allocation.
+type frameBuf struct {
+	payload []byte
+	events  []event.Event
+}
+
+// frameMsg is one fully-validated, fully-decoded frame (or the reason
+// decoding stopped). Exactly one terminal message ends every stream:
+// either err != nil, or kind == frameEnd.
+type frameMsg struct {
+	kind     byte
+	events   []event.Event  // frameEvents: decoded records (alias buf.events)
+	sym      *event.Symtab  // frameSymtab: decoded checkpoint
+	declared uint64         // frameEnd: writer's event count
+	end      int64          // offset consumed through the last fully-valid frame
+	buf      *frameBuf      // must be recycled by the consumer (nil on error paths)
+	err      error          // corruption, message-compatible with strict mode
+}
+
+// frameDecoder reads, CRC-checks, and decodes v2 frames sequentially.
+// Decoding the payload here — including symtab checkpoints — keeps the
+// consumer side free of mid-stream aborts, which is what lets the
+// read-ahead goroutine always run to a terminal frame and exit.
+type frameDecoder struct {
+	br     *bufio.Reader
+	offset int64 // consumed through the last fully-valid frame
+	size   int64
+	hdr    [frameHeaderSize]byte // scratch; a local would escape via io.ReadFull
+}
+
+func (d *frameDecoder) next(buf *frameBuf) frameMsg {
+	msg := frameMsg{buf: buf, end: d.offset}
+	hdr := d.hdr[:]
+	if _, err := io.ReadFull(d.br, hdr); err != nil {
+		if err == io.EOF && d.offset == d.size {
+			// Clean EOF at a frame boundary but no end frame:
+			// the writer was killed between batches.
+			msg.err = errors.New("missing end frame")
+		} else {
+			msg.err = errors.New("truncated frame header")
+		}
+		return msg
+	}
+	kind := hdr[0]
+	payloadLen := binary.LittleEndian.Uint32(hdr[1:])
+	wantCRC := binary.LittleEndian.Uint32(hdr[5:])
+	if payloadLen > maxFramePayload {
+		msg.err = fmt.Errorf("implausible frame length %d", payloadLen)
+		return msg
+	}
+	if cap(buf.payload) < int(payloadLen) {
+		buf.payload = make([]byte, payloadLen)
+	}
+	payload := buf.payload[:payloadLen]
+	if _, err := io.ReadFull(d.br, payload); err != nil {
+		msg.err = errors.New("truncated frame payload")
+		return msg
+	}
+	if crc32.Checksum(payload, crcTable) != wantCRC {
+		msg.err = errors.New("frame checksum mismatch")
+		return msg
+	}
+	msg.kind = kind
+	switch kind {
+	case frameEvents:
+		if payloadLen%recordSize != 0 {
+			msg.err = errors.New("ragged event frame")
+			return msg
+		}
+		n := len(payload) / recordSize
+		if cap(buf.events) < n {
+			buf.events = make([]event.Event, 0, n)
+		}
+		buf.events = buf.events[:0]
+		for off := 0; off < len(payload); off += recordSize {
+			buf.events = append(buf.events, decodeRecord(payload[off:off+recordSize]))
+		}
+		msg.events = buf.events
+	case frameSymtab:
+		s, err := decodeSymtab(payload)
+		if err != nil {
+			msg.err = errors.New("bad symtab checkpoint")
+			return msg
+		}
+		msg.sym = s
+	case frameEnd:
+		if payloadLen != 8 {
+			msg.err = errors.New("bad end frame")
+			return msg
+		}
+		msg.declared = binary.LittleEndian.Uint64(payload)
+	default:
+		msg.err = fmt.Errorf("unknown frame kind %d", kind)
+		return msg
+	}
+	d.offset += int64(frameHeaderSize) + int64(payloadLen)
+	msg.end = d.offset
+	return msg
+}
+
+// readAheadDepth is how many decoded frames the read-ahead goroutine
+// may run in front of the consumer. Each in-flight frame owns its own
+// frameBuf, so depth bounds both memory and the msgs channel.
+const readAheadDepth = 4
+
 // replayV2 walks the frame sequence. Strict mode demands every frame
 // intact plus a matching end frame; salvage mode stops at the first
-// damaged frame and keeps everything before it.
-func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool) (*event.Symtab, uint64, *SalvageInfo, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+// damaged frame and keeps everything before it. With opts.ReadAhead
+// the frameDecoder runs on its own goroutine, recycling frameBufs
+// through a channel pair; the goroutine always terminates because the
+// decoder emits exactly one terminal message (error or end frame) and
+// the consumer always reads to it.
+func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool, opts ReadOptions) (*event.Symtab, uint64, *SalvageInfo, error) {
+	dec := &frameDecoder{
+		br:     bufio.NewReaderSize(r, 1<<16),
+		offset: 8,
+		size:   size,
+	}
+	var next func() frameMsg
+	var release func(*frameBuf)
+	if opts.ReadAhead {
+		msgs := make(chan frameMsg, readAheadDepth)
+		recycle := make(chan *frameBuf, readAheadDepth)
+		for i := 0; i < readAheadDepth; i++ {
+			recycle <- new(frameBuf)
+		}
+		go func() {
+			for buf := range recycle {
+				m := dec.next(buf)
+				msgs <- m
+				if m.err != nil || m.kind == frameEnd {
+					return
+				}
+			}
+		}()
+		next = func() frameMsg { return <-msgs }
+		release = func(b *frameBuf) { recycle <- b }
+	} else {
+		buf := new(frameBuf)
+		next = func() frameMsg { return dec.next(buf) }
+		release = func(*frameBuf) {}
+	}
+
 	info := &SalvageInfo{Truncated: true}
 	sym := event.NewSymtab()
 	var replayed uint64
@@ -378,54 +547,23 @@ func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool) (*even
 		return sym, replayed, nil, fmt.Errorf("%w: "+format, append([]any{ErrCorrupt}, args...)...)
 	}
 
-	var hdr [frameHeaderSize]byte
 	for !sawEnd {
-		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			if err == io.EOF && offset == size {
-				// Clean EOF at a frame boundary but no end frame:
-				// the writer was killed between batches.
-				return corrupt("missing end frame")
-			}
-			return corrupt("truncated frame header")
+		msg := next()
+		offset = msg.end
+		if msg.err != nil {
+			return corrupt("%s", msg.err)
 		}
-		kind := hdr[0]
-		payloadLen := binary.LittleEndian.Uint32(hdr[1:])
-		wantCRC := binary.LittleEndian.Uint32(hdr[5:])
-		if payloadLen > maxFramePayload {
-			return corrupt("implausible frame length %d", payloadLen)
-		}
-		payload := make([]byte, payloadLen)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return corrupt("truncated frame payload")
-		}
-		if crc32.Checksum(payload, crcTable) != wantCRC {
-			return corrupt("frame checksum mismatch")
-		}
-		switch kind {
+		switch msg.kind {
 		case frameEvents:
-			if payloadLen%recordSize != 0 {
-				return corrupt("ragged event frame")
-			}
-			for off := 0; off < len(payload); off += recordSize {
-				sink.Emit(decodeRecord(payload[off : off+recordSize]))
-				replayed++
-			}
+			event.EmitAll(sink, msg.events)
+			replayed += uint64(len(msg.events))
 		case frameSymtab:
-			s, err := decodeSymtab(payload)
-			if err != nil {
-				return corrupt("bad symtab checkpoint")
-			}
-			sym = s
+			sym = msg.sym
 		case frameEnd:
-			if payloadLen != 8 {
-				return corrupt("bad end frame")
-			}
-			declared = binary.LittleEndian.Uint64(payload)
+			declared = msg.declared
 			sawEnd = true
-		default:
-			return corrupt("unknown frame kind %d", kind)
 		}
-		offset += int64(frameHeaderSize) + int64(payloadLen)
+		release(msg.buf)
 	}
 	if declared != replayed {
 		return corrupt("end frame declares %d events, replayed %d", declared, replayed)

@@ -5,6 +5,7 @@ import (
 	"heapmd/internal/faults"
 	"heapmd/internal/logger"
 	"heapmd/internal/prog"
+	"heapmd/internal/sched"
 )
 
 // RunConfig bundles everything needed to execute one logged run.
@@ -23,6 +24,13 @@ type RunConfig struct {
 	// ExtraSinks receive the raw event stream (e.g. a trace writer
 	// or the SWAT baseline).
 	ExtraSinks []event.Sink
+	// Parallel is the worker count for Train's independent runs:
+	// 0 or 1 runs serially, <0 uses GOMAXPROCS. Results are
+	// bit-identical to serial regardless of the setting — each run is
+	// seeded and isolated, and reports come back in input order.
+	// Runs sharing Observers or ExtraSinks cannot be isolated, so
+	// Train falls back to serial when either is set.
+	Parallel int
 }
 
 // DefaultFrequency is the sampling frequency used by the experiment
@@ -55,15 +63,24 @@ func RunLogged(w Workload, in Input, cfg RunConfig) (*logger.Report, *prog.Proce
 	return l.Report(), p, err
 }
 
-// Train runs w on n training inputs and returns their reports.
+// Train runs w on n training inputs and returns their reports, in
+// input order. With cfg.Parallel beyond 1 the runs execute on a
+// bounded worker pool (see internal/sched); every run owns a fresh
+// process and logger, so the reports — and on failure, the error — are
+// bit-identical to a serial loop. Shared Observers or ExtraSinks would
+// be mutated from multiple runs at once, so their presence forces the
+// serial path.
 func Train(w Workload, n int, cfg RunConfig) ([]*logger.Report, error) {
-	var reports []*logger.Report
-	for _, in := range w.Inputs(n) {
-		rep, _, err := RunLogged(w, in, cfg)
-		if err != nil {
-			return nil, err
-		}
-		reports = append(reports, rep)
+	inputs := w.Inputs(n)
+	workers := cfg.Parallel
+	if workers < 0 {
+		workers = sched.Workers(0)
 	}
-	return reports, nil
+	if workers == 0 || len(cfg.Observers) > 0 || len(cfg.ExtraSinks) > 0 {
+		workers = 1
+	}
+	return sched.Map(workers, len(inputs), func(i int) (*logger.Report, error) {
+		rep, _, err := RunLogged(w, inputs[i], cfg)
+		return rep, err
+	})
 }
