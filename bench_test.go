@@ -463,64 +463,107 @@ type emitOnlySink struct{ s event.Sink }
 
 func (w emitOnlySink) Emit(e event.Event) { w.s.Emit(e) }
 
+// recordParserTraces records one parser-workload run simultaneously
+// into every trace format and returns the encoded traces plus the
+// event count. Function-entry dominated, like the production traces
+// post-mortem mode replays; shared by the replay benchmarks and the
+// v3 size-budget test.
+func recordParserTraces(t testing.TB) (map[string][]byte, uint64) {
+	w, err := workloads.Get("parser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	formats := []struct {
+		name string
+		opts trace.WriterOptions
+	}{
+		{"v2", trace.WriterOptions{Version: trace.Version}},
+		{"v3", trace.WriterOptions{Version: trace.VersionV3}},
+		{"v3-flate", trace.WriterOptions{Version: trace.VersionV3, Compress: true}},
+	}
+	bufs := make([]bytes.Buffer, len(formats))
+	writers := make([]*trace.Writer, len(formats))
+	sinks := make([]event.Sink, len(formats))
+	for i, f := range formats {
+		tw, err := trace.NewWriterWith(&bufs[i], f.opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		writers[i] = tw
+		sinks[i] = tw
+	}
+	_, p, err := workloads.RunLogged(w, w.Inputs(1)[0], workloads.RunConfig{
+		ExtraSinks: sinks,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nEvents := writers[0].Events()
+	out := make(map[string][]byte, len(formats))
+	for i, f := range formats {
+		if err := writers[i].Close(p.Sym()); err != nil {
+			t.Fatal(err)
+		}
+		out[f.name] = bufs[i].Bytes()
+	}
+	return out, nEvents
+}
+
 // BenchmarkReplayThroughput measures the batched trace replay fast
 // path into a real logger: per-event delivery (the old code path),
 // frame-batched delivery through the batch-sink interface, and
-// batched delivery with the read-ahead decoder goroutine. The
-// frame-decode loop reuses its payload and batch buffers, so the
-// batched variants hold allocs/op flat regardless of trace length.
+// batched delivery with the read-ahead decoder goroutine — for the
+// fixed-width v2 format and the columnar v3 format, compressed and
+// not. The frame-decode loop reuses its payload and batch buffers, so
+// the batched variants hold allocs/op flat regardless of trace
+// length; bytes/event shows the storage density each format trades
+// that throughput against.
 func BenchmarkReplayThroughput(b *testing.B) {
-	// Record a real workload trace: function-entry dominated, like the
-	// production traces post-mortem mode replays.
-	w, err := workloads.Get("parser")
-	if err != nil {
-		b.Fatal(err)
-	}
-	var buf bytes.Buffer
-	tw, err := trace.NewWriter(&buf)
-	if err != nil {
-		b.Fatal(err)
-	}
-	_, p, err := workloads.RunLogged(w, w.Inputs(1)[0], workloads.RunConfig{
-		ExtraSinks: []event.Sink{tw},
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	nEvents := tw.Events()
-	if err := tw.Close(p.Sym()); err != nil {
-		b.Fatal(err)
-	}
-	data := buf.Bytes()
+	traces, nEvents := recordParserTraces(b)
 	variants := []struct {
-		name string
-		run  func(l *logger.Logger) error
+		name   string
+		format string
+		run    func(l *logger.Logger, data []byte) error
 	}{
-		{"per-event", func(l *logger.Logger) error {
+		{"per-event", "v2", func(l *logger.Logger, data []byte) error {
 			_, _, err := trace.Replay(bytes.NewReader(data), emitOnlySink{l})
 			return err
 		}},
-		{"batched", func(l *logger.Logger) error {
+		{"batched", "v2", func(l *logger.Logger, data []byte) error {
 			_, _, err := trace.Replay(bytes.NewReader(data), l)
 			return err
 		}},
-		{"batched-readahead", func(l *logger.Logger) error {
+		{"batched-readahead", "v2", func(l *logger.Logger, data []byte) error {
 			_, _, err := trace.ReplayWith(bytes.NewReader(data), l, trace.ReadOptions{ReadAhead: true})
+			return err
+		}},
+		{"batched-v3", "v3", func(l *logger.Logger, data []byte) error {
+			_, _, err := trace.Replay(bytes.NewReader(data), l)
+			return err
+		}},
+		{"batched-readahead-v3", "v3", func(l *logger.Logger, data []byte) error {
+			_, _, err := trace.ReplayWith(bytes.NewReader(data), l, trace.ReadOptions{ReadAhead: true})
+			return err
+		}},
+		{"batched-v3-flate", "v3-flate", func(l *logger.Logger, data []byte) error {
+			_, _, err := trace.Replay(bytes.NewReader(data), l)
 			return err
 		}},
 	}
 	for _, v := range variants {
+		data := traces[v.format]
 		b.Run(v.name, func(b *testing.B) {
 			b.ReportAllocs()
 			b.SetBytes(int64(len(data)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				l := logger.New(logger.Options{Frequency: 1024})
-				if err := v.run(l); err != nil {
+				if err := v.run(l, data); err != nil {
 					b.Fatal(err)
 				}
 			}
 			b.ReportMetric(float64(nEvents)*float64(b.N)/b.Elapsed().Seconds(), "events/sec")
+			b.ReportMetric(float64(len(data))/float64(nEvents), "bytes/event")
 		})
 	}
 }

@@ -17,7 +17,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -27,7 +29,9 @@ import (
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
 	"heapmd/internal/plot"
+	"heapmd/internal/prog"
 	"heapmd/internal/sched"
+	"heapmd/internal/trace"
 	"heapmd/internal/workloads"
 )
 
@@ -106,6 +110,9 @@ func cmdTrain(args []string) error {
 	out := fs.String("o", "", "output model file (default: stdout)")
 	version := fs.Int("version", 1, "development version (commercial workloads)")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "training runs in flight (1 = serial; results are identical)")
+	recordDir := fs.String("record-traces", "", "record each run's event stream to DIR/<input>.trace for later 'heapmd replay'")
+	traceFormat := fs.Uint("trace-format", uint(trace.VersionV3), "trace format version to record (2 or 3)")
+	compress := fs.Bool("compress", false, "flate-compress recorded v3 trace frames (smaller files, same replay)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -113,7 +120,16 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	reports, err := workloads.Train(w, *inputs, workloads.RunConfig{Version: *version, Parallel: *parallel})
+	cfg := workloads.RunConfig{Version: *version, Parallel: *parallel}
+	if *recordDir != "" {
+		// Recording stays parallel: the hook opens a private writer per
+		// run (see RunConfig.Record).
+		cfg.Record, err = traceRecorder(*recordDir, uint32(*traceFormat), *compress)
+		if err != nil {
+			return err
+		}
+	}
+	reports, err := workloads.Train(w, *inputs, cfg)
 	if err != nil {
 		return err
 	}
@@ -141,6 +157,41 @@ func cmdTrain(args []string) error {
 		dst = f
 	}
 	return res.Model.Save(dst)
+}
+
+// traceRecorder returns a RunConfig.Record hook that writes each
+// run's event stream to dir/<input>.trace in the selected format. The
+// hook builds a fresh writer per run, so recorded training and check
+// runs still fan out across workers.
+func traceRecorder(dir string, format uint32, compress bool) (func(in workloads.Input, p *prog.Process) (func() error, error), error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	// Validate the format/compression combination once, up front,
+	// rather than failing on every run.
+	if _, err := trace.NewWriterWith(io.Discard, trace.WriterOptions{Version: format, Compress: compress}); err != nil {
+		return nil, err
+	}
+	return func(in workloads.Input, p *prog.Process) (func() error, error) {
+		f, err := os.Create(filepath.Join(dir, in.Name+".trace"))
+		if err != nil {
+			return nil, err
+		}
+		tw, err := trace.NewWriterWith(f, trace.WriterOptions{Version: format, Compress: compress})
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		tw.SetSymtab(p.Sym())
+		p.Subscribe(tw)
+		return func() error {
+			err := tw.Close(p.Sym())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			return err
+		}, nil
+	}, nil
 }
 
 // parseFault parses "name[:prob[:maxTriggers]]".
@@ -178,12 +229,22 @@ func cmdCheck(args []string) error {
 	skip := fs.Int("skip", 25, "skip the first N inputs (assumed used for training)")
 	version := fs.Int("version", 1, "development version")
 	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "check runs in flight (1 = serial; output is identical)")
+	recordDir := fs.String("record-traces", "", "record each run's event stream to DIR/<input>.trace for later 'heapmd replay'")
+	traceFormat := fs.Uint("trace-format", uint(trace.VersionV3), "trace format version to record (2 or 3)")
+	compress := fs.Bool("compress", false, "flate-compress recorded v3 trace frames (smaller files, same replay)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w, err := workloads.Get(*name)
 	if err != nil {
 		return err
+	}
+	var record func(workloads.Input, *prog.Process) (func() error, error)
+	if *recordDir != "" {
+		record, err = traceRecorder(*recordDir, uint32(*traceFormat), *compress)
+		if err != nil {
+			return err
+		}
 	}
 	f, err := os.Open(*modelPath)
 	if err != nil {
@@ -220,7 +281,7 @@ func cmdCheck(args []string) error {
 		}
 		var b strings.Builder
 		out := checkOut{}
-		rep, p, err := workloads.RunLogged(w, in, workloads.RunConfig{Plan: plan, Version: *version})
+		rep, p, err := workloads.RunLogged(w, in, workloads.RunConfig{Plan: plan, Version: *version, Record: record})
 		if err != nil {
 			fmt.Fprintf(&b, "%s: run crashed: %v\n", in.Name, err)
 			out.text = b.String()

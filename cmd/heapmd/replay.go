@@ -44,7 +44,7 @@ func cmdReplay(args []string) error {
 	modelPath := fs.String("model", "", "optional model file: check each replayed report against it")
 	salvage := fs.Bool("salvage", false, "recover the longest valid prefix of a damaged trace")
 	pipelined := fs.Bool("pipelined", false, "decode and apply the trace on separate goroutines (identical report, better throughput)")
-	readAhead := fs.Bool("readahead", false, "decode and CRC-check the next frame while the current one is applied (identical report)")
+	readAhead := fs.Bool("readahead", heapmd.DefaultReadAhead(), "decode and CRC-check the next frame while the current one is applied (identical report; defaults on with >1 CPU, off single-core where the extra goroutine costs throughput)")
 	workers := fs.Int("metric-workers", 0, "compute expensive extension metrics on this many workers (0 = inline)")
 	extended := fs.Bool("extended", false, "compute the extended metric suite (adds WCC/SCC structure metrics)")
 	freq := fs.Uint64("freq", 0, "sampling frequency; must match the recording (0 = simulation default)")
@@ -137,17 +137,41 @@ func cmdReplay(args []string) error {
 	}
 	var agg health.Counters
 	var events, findings uint64
+	var aggStats heapmd.TraceStats
+	formats := map[uint32]int{}
 	for _, out := range outs {
 		fmt.Print(out.text)
 		agg.Add(out.health)
 		events += out.events
 		findings += uint64(out.findings)
+		aggStats.TotalBytes += out.stats.TotalBytes
+		aggStats.Events += out.stats.Events
+		aggStats.StoredEventBytes += out.stats.StoredEventBytes
+		aggStats.RawEventBytes += out.stats.RawEventBytes
+		aggStats.CompressedFrames += out.stats.CompressedFrames
+		aggStats.EventFrames += out.stats.EventFrames
+		if out.stats.Version != 0 {
+			formats[out.stats.Version]++
+		}
 	}
 	fmt.Printf("replayed %d traces: %d events total", len(paths), events)
 	if cfg.mdl != nil {
 		fmt.Printf(", %d findings", findings)
 	}
 	fmt.Println()
+	if aggStats.Events > 0 {
+		var fmts []string
+		for _, v := range []uint32{1, 2, 3} {
+			if n := formats[v]; n > 0 {
+				fmts = append(fmts, fmt.Sprintf("v%d ×%d", v, n))
+			}
+		}
+		fmt.Printf("trace storage: %s, %.2f bytes/event overall", strings.Join(fmts, ", "), aggStats.BytesPerEvent())
+		if aggStats.CompressedFrames > 0 {
+			fmt.Printf(", compression %.2fx", aggStats.CompressionRatio())
+		}
+		fmt.Println()
+	}
 	if !agg.Zero() {
 		fmt.Printf("aggregate instrumentation health: %s\n", agg.String())
 	}
@@ -206,6 +230,7 @@ type replayOut struct {
 	events   uint64
 	findings int
 	health   health.Counters
+	stats    heapmd.TraceStats
 }
 
 // replayOne ingests a single trace file and renders its summary.
@@ -217,6 +242,10 @@ func replayOne(path string, cfg replayConfig) (*replayOut, error) {
 	defer f.Close()
 	rr := &retryReader{r: f, maxRetries: cfg.retries, backoff: 50 * time.Millisecond}
 
+	// Stats must be private to this trace: cfg is shared across the
+	// worker pool, so a pointer placed there would be raced over.
+	var st heapmd.TraceStats
+	cfg.opts.Stats = &st
 	rep, sym, info, err := heapmd.ReplayTraceWith(rr, cfg.program, cfg.input, cfg.opts)
 	if err != nil {
 		if cfg.opts.Salvage {
@@ -224,10 +253,18 @@ func replayOne(path string, cfg replayConfig) (*replayOut, error) {
 		}
 		return nil, fmt.Errorf("%s: %w (rerun with -salvage to recover a damaged trace)", path, err)
 	}
-	out := &replayOut{events: info.EventsRecovered, health: rep.Health}
+	out := &replayOut{events: info.EventsRecovered, health: rep.Health, stats: st}
 	var b strings.Builder
 	fmt.Fprintf(&b, "replayed %d events (%d snapshots, %d symbols) from %s\n",
 		info.EventsRecovered, len(rep.Snapshots), sym.Len(), path)
+	if st.Events > 0 {
+		fmt.Fprintf(&b, "trace format v%d: %.2f bytes/event", st.Version, st.BytesPerEvent())
+		if st.CompressedFrames > 0 {
+			fmt.Fprintf(&b, ", compression %.2fx (%d/%d frames)",
+				st.CompressionRatio(), st.CompressedFrames, st.EventFrames)
+		}
+		b.WriteByte('\n')
+	}
 	if info.Salvaged() {
 		fmt.Fprintf(&b, "salvage: %s\n", info)
 	}

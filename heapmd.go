@@ -101,6 +101,10 @@ type (
 	// damaged trace.
 	SalvageInfo = trace.SalvageInfo
 
+	// TraceStats is the storage accounting replay gathers: format
+	// version, bytes per event, compression ratio.
+	TraceStats = trace.Stats
+
 	// Pipeline is the concurrent monitoring pipeline: a multi-
 	// producer/single-consumer batched event channel in front of the
 	// execution logger, with configurable backpressure.
@@ -129,6 +133,18 @@ const (
 // runs and trace replay; see logger.SimulationFrequency for why it
 // differs from the paper's frq = 1/100,000.
 const SimulationFrequency = logger.SimulationFrequency
+
+// Trace format versions for TraceOptions.Version. Replay auto-detects
+// the version from the header, so these matter only when recording.
+const (
+	// TraceFormatV2 is the framed fixed-width format: CRC32-protected
+	// frames of 37-byte records.
+	TraceFormatV2 = trace.Version
+	// TraceFormatV3 is the columnar delta-encoded format: same frame
+	// envelope, several times smaller on real event streams, with
+	// optional per-frame compression. The default for new recordings.
+	TraceFormatV3 = trace.VersionV3
+)
 
 // The paper's seven degree-based metrics.
 const (
@@ -328,14 +344,37 @@ func SaveModel(m *Model, w io.Writer) error { return m.Save(w) }
 // LoadModel deserializes a model written by SaveModel.
 func LoadModel(r io.Reader) (*Model, error) { return model.Load(r) }
 
+// DefaultReadAhead reports whether replay read-ahead (decoding the
+// next trace frame on a dedicated goroutine) is expected to pay off
+// on this machine; see trace.DefaultReadAhead for the heuristic.
+func DefaultReadAhead() bool { return trace.DefaultReadAhead() }
+
+// TraceOptions configure RecordTraceWith.
+type TraceOptions struct {
+	// Version selects the trace format (TraceFormatV2 or
+	// TraceFormatV3). Zero means TraceFormatV3.
+	Version uint32
+	// Compress flate-compresses v3 event frames when that makes them
+	// smaller; replay output is identical. Only valid with v3.
+	Compress bool
+}
+
 // RecordTrace attaches a trace writer to a run so its event stream
 // can be replayed later (post-mortem analysis). The writer is handed
-// the run's symbol table up front, so the v2 format checkpoints it
-// periodically and a run that crashes before the returned close
+// the run's symbol table up front, so the framed formats checkpoint
+// it periodically and a run that crashes before the returned close
 // function runs still leaves a salvageable, symbolized trace. Call
 // the close function after execution for a cleanly-terminated trace.
+// The trace is written in the v2 format for compatibility; use
+// RecordTraceWith for the smaller v3 format.
 func RecordTrace(r *Run, w io.Writer) (func() error, error) {
-	tw, err := trace.NewWriter(w)
+	return RecordTraceWith(r, w, TraceOptions{Version: TraceFormatV2})
+}
+
+// RecordTraceWith is RecordTrace with format control; the zero
+// options record columnar v3, uncompressed.
+func RecordTraceWith(r *Run, w io.Writer, opts TraceOptions) (func() error, error) {
+	tw, err := trace.NewWriterWith(w, trace.WriterOptions{Version: opts.Version, Compress: opts.Compress})
 	if err != nil {
 		return nil, err
 	}
@@ -369,7 +408,13 @@ type ReplayOptions struct {
 	// ReadAhead CRC-checks and decodes the next trace frame on a
 	// dedicated goroutine while the logger consumes the current one;
 	// see trace.ReadOptions. The report is identical either way.
+	// trace.DefaultReadAhead reports whether it pays off on this
+	// machine.
 	ReadAhead bool
+	// Stats, when non-nil, is filled with storage accounting for the
+	// replayed trace: format version, bytes per event, compression
+	// ratio.
+	Stats *TraceStats
 }
 
 // ReplayTrace replays a recorded trace into a fresh logger and
@@ -404,7 +449,7 @@ func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions
 		info *SalvageInfo
 		err  error
 	)
-	ropts := trace.ReadOptions{ReadAhead: opts.ReadAhead}
+	ropts := trace.ReadOptions{ReadAhead: opts.ReadAhead, Stats: opts.Stats}
 	if opts.Salvage {
 		sym, info, err = trace.SalvageWith(rd, sink, ropts)
 	} else {

@@ -118,6 +118,37 @@ type BatchSink interface {
 	EmitBatch([]Event)
 }
 
+// Batch is a reusable event buffer: a growable []Event that trace
+// writers and frame decoders recycle across record batches so that
+// steady-state batch processing allocates nothing. The zero value is
+// an empty, ready-to-use batch. Slices returned by Grow and Events
+// are borrowed — they alias the buffer and are overwritten by the
+// next Grow/Append/Reset, exactly like the BatchSink contract.
+type Batch struct{ evs []Event }
+
+// Append adds one event to the batch.
+func (b *Batch) Append(e Event) { b.evs = append(b.evs, e) }
+
+// Len returns the number of buffered events.
+func (b *Batch) Len() int { return len(b.evs) }
+
+// Reset empties the batch, keeping its capacity.
+func (b *Batch) Reset() { b.evs = b.evs[:0] }
+
+// Grow resizes the batch to exactly n events (contents unspecified),
+// reusing the existing allocation when it is large enough, and
+// returns the resized slice for the caller to fill in place.
+func (b *Batch) Grow(n int) []Event {
+	if cap(b.evs) < n {
+		b.evs = make([]Event, n)
+	}
+	b.evs = b.evs[:n]
+	return b.evs
+}
+
+// Events returns the buffered events (borrowed).
+func (b *Batch) Events() []Event { return b.evs }
+
 // EmitAll delivers batch through sink's EmitBatch when implemented,
 // falling back to per-event Emit calls. The borrowed-slice contract of
 // BatchSink.EmitBatch applies.

@@ -136,9 +136,9 @@ func TestReadAheadEquivalence(t *testing.T) {
 // bufio.Reader, decoder, symtab, info — is allowed; scaling with frame
 // count is not.)
 func TestReplayFrameDecodeAllocs(t *testing.T) {
-	mkTrace := func(frames int) []byte {
+	mkTrace := func(frames int, wopts WriterOptions) []byte {
 		var buf bytes.Buffer
-		w, err := NewWriter(&buf)
+		w, err := NewWriterWith(&buf, wopts)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -160,22 +160,34 @@ func TestReplayFrameDecodeAllocs(t *testing.T) {
 			}
 		})
 	}
-	small, large := mkTrace(2), mkTrace(128)
-	for _, tc := range []struct {
-		name  string
-		opts  ReadOptions
+	for _, w := range []struct {
+		name string
+		opts WriterOptions
+		// flate's inflater keeps per-stream state the stdlib may top up
+		// lazily; allow a handful of allocs, never one per frame.
 		slack float64
 	}{
-		{"sync", ReadOptions{}, 0},
-		// The read-ahead path blocks on channels, and the runtime may
-		// allocate a sudog per park; allow a few allocs of noise but
-		// nothing near one per frame (126 extra frames).
-		{"readahead", ReadOptions{ReadAhead: true}, 8},
+		{"v2", WriterOptions{Version: Version}, 0},
+		{"v3", WriterOptions{Version: VersionV3}, 0},
+		{"v3-flate", WriterOptions{Version: VersionV3, Compress: true}, 8},
 	} {
-		aSmall, aLarge := measure(small, tc.opts), measure(large, tc.opts)
-		if aLarge > aSmall+tc.slack {
-			t.Errorf("%s: 128-frame replay allocates %.0f, 2-frame allocates %.0f — decode loop allocates per frame",
-				tc.name, aLarge, aSmall)
+		small, large := mkTrace(2, w.opts), mkTrace(128, w.opts)
+		for _, tc := range []struct {
+			name  string
+			opts  ReadOptions
+			slack float64
+		}{
+			{"sync", ReadOptions{}, 0},
+			// The read-ahead path blocks on channels, and the runtime may
+			// allocate a sudog per park; allow a few allocs of noise but
+			// nothing near one per frame (126 extra frames).
+			{"readahead", ReadOptions{ReadAhead: true}, 8},
+		} {
+			aSmall, aLarge := measure(small, tc.opts), measure(large, tc.opts)
+			if aLarge > aSmall+tc.slack+w.slack {
+				t.Errorf("%s/%s: 128-frame replay allocates %.0f, 2-frame allocates %.0f — decode loop allocates per frame",
+					w.name, tc.name, aLarge, aSmall)
+			}
 		}
 	}
 }

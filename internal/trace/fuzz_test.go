@@ -52,8 +52,34 @@ func fuzzSeeds(f *testing.F) {
 	if err := w1.Close(sym); err != nil {
 		f.Fatal(err)
 	}
+	// Clean v3, raw and compressed, several frames each.
+	var v3, v3z bytes.Buffer
+	for _, dst := range []struct {
+		buf      *bytes.Buffer
+		compress bool
+	}{{&v3, false}, {&v3z, true}} {
+		w3, err := NewWriterWith(dst.buf, WriterOptions{Version: VersionV3, Compress: dst.compress})
+		if err != nil {
+			f.Fatal(err)
+		}
+		w3.SetSymtab(sym)
+		for i, e := range evs {
+			w3.Emit(e)
+			if i%7 == 6 {
+				w3.Flush()
+			}
+		}
+		if err := w3.Close(sym); err != nil {
+			f.Fatal(err)
+		}
+	}
 	f.Add(v2.Bytes())
 	f.Add(v1.Bytes())
+	f.Add(v3.Bytes())
+	f.Add(v3z.Bytes())
+	f.Add(v3.Bytes()[:v3.Len()*2/3])   // truncated v3
+	f.Add(v3z.Bytes()[:v3z.Len()/2])   // truncated compressed v3
+	f.Add(append([]byte("HMDT"), 3, 0, 0, 0)) // bare v3 header
 	f.Add(v2.Bytes()[:v2.Len()/2])     // truncated v2
 	f.Add(v1.Bytes()[:v1.Len()-25])    // v1 missing trailer
 	f.Add(v1.Bytes()[:11])             // mid-record v1

@@ -26,6 +26,23 @@
 //	         Later checkpoints supersede earlier ones.
 //	  kind 3 (end): eventCount u64 — marks a clean close.
 //
+// Format v3 (written by NewWriterWith) keeps the v2 envelope — the
+// same header shape, frame kinds, CRC32C framing, symtab checkpoints
+// and end frame, so frame walking and salvage are version-independent
+// — but lays event-frame payloads out columnarly:
+//
+//	header:  magic "HMDT" | version u32 (=3)
+//	  kind 1 (events): flags u8 | count u32 | body
+//	         body: one array per Event field, delta+varint encoded
+//	         (see columnar.go); flags selects the body codec —
+//	         0 = raw, 1 = flate-compressed (only when smaller).
+//	  kinds 2 and 3: byte-identical to v2.
+//
+// Clustered addresses and near-monotonic columns collapse to one or
+// two bytes per event (~6x smaller than v2's fixed-width records on
+// recorded workload traces), and each frame's delta chains restart at
+// zero, so salvage still recovers every complete frame independently.
+//
 // Format v1 (still readable; written by NewWriterV1):
 //
 //	header:  magic "HMDT" | version u32 (=1)
@@ -41,11 +58,13 @@ package trace
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"runtime"
 
 	"heapmd/internal/event"
 )
@@ -55,11 +74,17 @@ var (
 	trailerMagic = [4]byte{'T', 'D', 'M', 'H'}
 )
 
-// Version is the current (v2, crash-safe) trace format version.
+// Version is the v2 (crash-safe, fixed-width records) trace format
+// version: what NewWriter emits and the default interchange format.
 const Version uint32 = 2
 
 // VersionV1 is the legacy trailer-based format, still readable.
 const VersionV1 uint32 = 1
+
+// VersionV3 is the columnar delta-encoded format (optionally
+// flate-compressed per frame), written by NewWriterWith. It shares
+// v2's frame envelope and salvage semantics.
+const VersionV3 uint32 = 3
 
 const recordSize = 1 + 4 + 8 + 8 + 8 + 8
 
@@ -118,8 +143,9 @@ func (s *SalvageInfo) String() string {
 		s.EventsRecovered, s.BytesDropped, s.Truncated)
 }
 
-// Writer streams events to an underlying writer in format v2. It
-// implements event.Sink; I/O errors are sticky and surfaced by Close.
+// Writer streams events to an underlying writer in format v2 or v3.
+// It implements event.Sink; I/O errors are sticky and surfaced by
+// Close.
 //
 // Events accumulate into record batches that are sealed into CRC32-
 // framed chunks every DefaultBatchRecords events; if the process dies
@@ -127,25 +153,73 @@ func (s *SalvageInfo) String() string {
 // Attach the run's symbol table with SetSymtab to also checkpoint it
 // periodically, so function names survive a crash too.
 type Writer struct {
-	w      *bufio.Writer
-	n      uint64 // events emitted
-	err    error
-	batch  []byte // pending, not-yet-framed records
-	frames int    // event frames since the last symtab checkpoint
-	sym    *event.Symtab
+	w       *bufio.Writer
+	version uint32
+	n       uint64 // events emitted
+	err     error
+	batch   []byte       // v2: pending, not-yet-framed records
+	evs     event.Batch  // v3: pending, not-yet-framed events
+	enc     []byte       // v3: columnar body scratch, reused per frame
+	payload []byte       // v3: assembled frame payload scratch
+	comp    bytes.Buffer // v3: compressed body scratch
+	cdc     codec        // v3: nil = never compress
+	frames  int          // event frames since the last symtab checkpoint
+	sym     *event.Symtab
+	// hdr is the frame-header scratch. A local array would be moved to
+	// the heap on every writeFrame call (bufio may hand the slice to
+	// the underlying io.Writer, so it escapes); keeping it on the
+	// Writer makes the steady-state emit path allocation-free.
+	hdr [frameHeaderSize]byte
+}
+
+// WriterOptions configure NewWriterWith.
+type WriterOptions struct {
+	// Version selects the trace format: Version (v2, fixed-width
+	// records) or VersionV3 (columnar delta-encoded batches). Zero
+	// means VersionV3 — callers reaching for options want the compact
+	// format; NewWriter keeps writing v2.
+	Version uint32
+	// Compress flate-compresses each v3 event-frame body, for traces
+	// headed to cold storage. The flag is per frame on the wire: a
+	// frame is stored compressed only when that is actually smaller,
+	// and replay output is identical either way. Only valid with v3.
+	Compress bool
 }
 
 // NewWriter writes the v2 header and returns a Writer.
 func NewWriter(w io.Writer) (*Writer, error) {
+	return NewWriterWith(w, WriterOptions{Version: Version})
+}
+
+// NewWriterWith writes the header for the selected format version and
+// returns a Writer for it.
+func NewWriterWith(w io.Writer, opts WriterOptions) (*Writer, error) {
+	v := opts.Version
+	if v == 0 {
+		v = VersionV3
+	}
+	if v != Version && v != VersionV3 {
+		return nil, fmt.Errorf("trace: cannot write format version %d", v)
+	}
+	if opts.Compress && v != VersionV3 {
+		return nil, errors.New("trace: compression requires format v3")
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
-	if err := writeHeader(bw, Version); err != nil {
+	if err := writeHeader(bw, v); err != nil {
 		return nil, err
 	}
-	return &Writer{
-		w:     bw,
-		batch: make([]byte, 0, DefaultBatchRecords*recordSize),
-	}, nil
+	tw := &Writer{w: bw, version: v}
+	if v == Version {
+		tw.batch = make([]byte, 0, DefaultBatchRecords*recordSize)
+	}
+	if opts.Compress {
+		tw.cdc = &flateCodec{}
+	}
+	return tw, nil
 }
+
+// Version returns the format version this Writer emits.
+func (tw *Writer) Version() uint32 { return tw.version }
 
 func writeHeader(w io.Writer, version uint32) error {
 	if _, err := w.Write(headerMagic[:]); err != nil {
@@ -168,6 +242,14 @@ func (tw *Writer) Emit(e event.Event) {
 	if tw.err != nil {
 		return
 	}
+	if tw.version == VersionV3 {
+		tw.evs.Append(e)
+		tw.n++
+		if tw.evs.Len() >= DefaultBatchRecords {
+			tw.flushBatch()
+		}
+		return
+	}
 	var rec [recordSize]byte
 	b := rec[:]
 	b[0] = byte(e.Type)
@@ -186,11 +268,23 @@ func (tw *Writer) Emit(e event.Event) {
 // flushBatch seals the pending records into an event frame and, when
 // due, follows it with a symtab checkpoint.
 func (tw *Writer) flushBatch() {
-	if len(tw.batch) == 0 || tw.err != nil {
+	if tw.err != nil {
 		return
 	}
-	tw.writeFrame(frameEvents, tw.batch)
-	tw.batch = tw.batch[:0]
+	switch {
+	case tw.version == VersionV3 && tw.evs.Len() > 0:
+		payload := tw.encodeEventsV3()
+		if tw.err != nil {
+			return
+		}
+		tw.writeFrame(frameEvents, payload)
+		tw.evs.Reset()
+	case tw.version == Version && len(tw.batch) > 0:
+		tw.writeFrame(frameEvents, tw.batch)
+		tw.batch = tw.batch[:0]
+	default:
+		return
+	}
 	tw.frames++
 	if tw.sym != nil && tw.frames >= DefaultCheckpointFrames {
 		tw.writeFrame(frameSymtab, encodeSymtab(tw.sym))
@@ -198,15 +292,42 @@ func (tw *Writer) flushBatch() {
 	}
 }
 
+// encodeEventsV3 assembles the pending batch into a v3 event-frame
+// payload (flags | count | body), reusing the Writer's scratch
+// buffers. With a codec attached, the body is stored compressed only
+// when that is smaller — the flags byte records the choice per frame.
+func (tw *Writer) encodeEventsV3() []byte {
+	evs := tw.evs.Events()
+	tw.enc = encodeColumns(tw.enc[:0], evs)
+	body := tw.enc
+	flags := codecRaw
+	if tw.cdc != nil {
+		tw.comp.Reset()
+		if err := tw.cdc.Compress(&tw.comp, body); err != nil {
+			tw.err = err
+			return nil
+		}
+		if tw.comp.Len() < len(body) {
+			body = tw.comp.Bytes()
+			flags = tw.cdc.ID()
+		}
+	}
+	var count [4]byte
+	binary.LittleEndian.PutUint32(count[:], uint32(len(evs)))
+	tw.payload = append(tw.payload[:0], flags)
+	tw.payload = append(tw.payload, count[:]...)
+	tw.payload = append(tw.payload, body...)
+	return tw.payload
+}
+
 func (tw *Writer) writeFrame(kind byte, payload []byte) {
 	if tw.err != nil {
 		return
 	}
-	var hdr [frameHeaderSize]byte
-	hdr[0] = kind
-	binary.LittleEndian.PutUint32(hdr[1:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(hdr[5:], crc32.Checksum(payload, crcTable))
-	if _, err := tw.w.Write(hdr[:]); err != nil {
+	tw.hdr[0] = kind
+	binary.LittleEndian.PutUint32(tw.hdr[1:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(tw.hdr[5:], crc32.Checksum(payload, crcTable))
+	if _, err := tw.w.Write(tw.hdr[:]); err != nil {
 		tw.err = err
 		return
 	}
@@ -312,6 +433,55 @@ func decodeRecord(b []byte) event.Event {
 	}
 }
 
+// Stats describes the physical shape of a replayed trace: which
+// format it was written in and what the bytes cost per event — the
+// numbers the replay CLI surfaces and the trace-size regression gate
+// checks. Populated via ReadOptions.Stats; identical between the
+// synchronous and read-ahead readers, and in salvage mode covers the
+// recovered prefix.
+type Stats struct {
+	// Version is the format version from the trace header.
+	Version uint32
+	// TotalBytes is the size of the trace file.
+	TotalBytes uint64
+	// Events is the number of events delivered to the sink.
+	Events uint64
+	// EventFrames counts decoded event frames (framed formats only).
+	EventFrames uint64
+	// CompressedFrames counts v3 event frames stored flate-compressed.
+	CompressedFrames uint64
+	// StoredEventBytes sums the on-disk payload bytes of event frames.
+	StoredEventBytes uint64
+	// RawEventBytes sums what those payloads occupy uncompressed —
+	// equal to StoredEventBytes when no frame is compressed.
+	RawEventBytes uint64
+}
+
+// BytesPerEvent is the trace's whole-file storage cost per event.
+func (s *Stats) BytesPerEvent() float64 {
+	if s.Events == 0 {
+		return 0
+	}
+	return float64(s.TotalBytes) / float64(s.Events)
+}
+
+// CompressionRatio is raw-over-stored for the event payloads: 1 when
+// nothing is compressed, >1 when the per-frame flate pass saved space.
+func (s *Stats) CompressionRatio() float64 {
+	if s.StoredEventBytes == 0 {
+		return 1
+	}
+	return float64(s.RawEventBytes) / float64(s.StoredEventBytes)
+}
+
+// DefaultReadAhead reports whether the read-ahead decoder is worth
+// enabling on this host. The decode goroutine overlaps CRC checking
+// and column decoding with heap-image mutation, but on a single-core
+// box it only adds channel overhead (BENCH_pr4.json: 25.6M vs 29.6M
+// events/sec synchronous), so the heuristic is: on iff more than one
+// core is usable. Callers that know better pass an explicit value.
+func DefaultReadAhead() bool { return runtime.GOMAXPROCS(0) > 1 }
+
 // ReadOptions configure the replay fast path; the zero value is the
 // default synchronous reader.
 type ReadOptions struct {
@@ -319,9 +489,13 @@ type ReadOptions struct {
 	// goroutine while the sink consumes frame N, overlapping I/O,
 	// checksumming and record decoding with heap-image mutation.
 	// Event order and every success/corruption outcome are identical
-	// to the synchronous reader. Applies to v2 traces; v1 traces
-	// (unframed) always read synchronously.
+	// to the synchronous reader. Applies to framed (v2/v3) traces; v1
+	// traces (unframed) always read synchronously. See
+	// DefaultReadAhead for the recommended host heuristic.
 	ReadAhead bool
+	// Stats, when non-nil, is filled with the trace's format and size
+	// accounting as replay proceeds.
+	Stats *Stats
 }
 
 // Replay reads a trace (either format version) and delivers every
@@ -375,47 +549,61 @@ func replay(r io.ReadSeeker, sink event.Sink, salvage bool, opts ReadOptions) (*
 	if [4]byte(hdr[:4]) != headerMagic {
 		return nil, 0, nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
-	switch v := binary.LittleEndian.Uint32(hdr[4:]); v {
+	v := binary.LittleEndian.Uint32(hdr[4:])
+	if opts.Stats != nil {
+		*opts.Stats = Stats{Version: v, TotalBytes: uint64(size)}
+	}
+	switch v {
 	case VersionV1:
-		return replayV1(r, sink, size, salvage)
-	case Version:
-		return replayV2(r, sink, size, salvage, opts)
+		return replayV1(r, sink, size, salvage, opts)
+	case Version, VersionV3:
+		return replayFramed(r, sink, v, size, salvage, opts)
 	default:
+		if opts.Stats != nil {
+			opts.Stats.Version = 0
+		}
 		return nil, 0, nil, fmt.Errorf("trace: unsupported version %d", v)
 	}
 }
 
 // frameBuf is the reusable scratch storage for one decoded frame: the
 // raw payload bytes and, for event frames, the decoded records. Both
-// slices are recycled across frames, so steady-state frame decoding
-// performs no allocation.
+// are recycled across frames, so steady-state frame decoding performs
+// no allocation.
 type frameBuf struct {
 	payload []byte
-	events  []event.Event
+	events  event.Batch
 }
 
 // frameMsg is one fully-validated, fully-decoded frame (or the reason
 // decoding stopped). Exactly one terminal message ends every stream:
 // either err != nil, or kind == frameEnd.
 type frameMsg struct {
-	kind     byte
-	events   []event.Event  // frameEvents: decoded records (alias buf.events)
-	sym      *event.Symtab  // frameSymtab: decoded checkpoint
-	declared uint64         // frameEnd: writer's event count
-	end      int64          // offset consumed through the last fully-valid frame
-	buf      *frameBuf      // must be recycled by the consumer (nil on error paths)
-	err      error          // corruption, message-compatible with strict mode
+	kind       byte
+	events     []event.Event // frameEvents: decoded records (alias buf.events)
+	sym        *event.Symtab // frameSymtab: decoded checkpoint
+	declared   uint64        // frameEnd: writer's event count
+	end        int64         // offset consumed through the last fully-valid frame
+	buf        *frameBuf     // must be recycled by the consumer (nil on error paths)
+	err        error         // corruption, message-compatible with strict mode
+	stored     int           // frameEvents: on-disk payload bytes
+	raw        int           // frameEvents: payload bytes before compression
+	compressed bool          // frameEvents: body was stored flate-compressed
 }
 
-// frameDecoder reads, CRC-checks, and decodes v2 frames sequentially.
-// Decoding the payload here — including symtab checkpoints — keeps the
-// consumer side free of mid-stream aborts, which is what lets the
-// read-ahead goroutine always run to a terminal frame and exit.
+// frameDecoder reads, CRC-checks, and decodes v2/v3 frames
+// sequentially. Decoding the payload here — including symtab
+// checkpoints and v3 decompression — keeps the consumer side free of
+// mid-stream aborts, which is what lets the read-ahead goroutine
+// always run to a terminal frame and exit.
 type frameDecoder struct {
-	br     *bufio.Reader
-	offset int64 // consumed through the last fully-valid frame
-	size   int64
-	hdr    [frameHeaderSize]byte // scratch; a local would escape via io.ReadFull
+	br      *bufio.Reader
+	version uint32
+	offset  int64 // consumed through the last fully-valid frame
+	size    int64
+	hdr     [frameHeaderSize]byte // scratch; a local would escape via io.ReadFull
+	decomp  []byte                // v3: decompressed body scratch, reused per frame
+	inflate flateCodec            // v3: reusable flate state
 }
 
 func (d *frameDecoder) next(buf *frameBuf) frameMsg {
@@ -439,7 +627,10 @@ func (d *frameDecoder) next(buf *frameBuf) frameMsg {
 		return msg
 	}
 	if cap(buf.payload) < int(payloadLen) {
-		buf.payload = make([]byte, payloadLen)
+		// Grow geometrically: v3 frame payloads vary in size (delta
+		// content determines length), and exact-fit growth would
+		// reallocate on every slightly-larger frame.
+		buf.payload = make([]byte, max(int(payloadLen), 2*cap(buf.payload)))
 	}
 	payload := buf.payload[:payloadLen]
 	if _, err := io.ReadFull(d.br, payload); err != nil {
@@ -453,19 +644,25 @@ func (d *frameDecoder) next(buf *frameBuf) frameMsg {
 	msg.kind = kind
 	switch kind {
 	case frameEvents:
+		if d.version == VersionV3 {
+			if err := d.decodeEventsV3(payload, buf, &msg); err != nil {
+				msg.err = err
+				return msg
+			}
+			break
+		}
 		if payloadLen%recordSize != 0 {
 			msg.err = errors.New("ragged event frame")
 			return msg
 		}
 		n := len(payload) / recordSize
-		if cap(buf.events) < n {
-			buf.events = make([]event.Event, 0, n)
+		evs := buf.events.Grow(n)
+		for i := 0; i < n; i++ {
+			evs[i] = decodeRecord(payload[i*recordSize : (i+1)*recordSize])
 		}
-		buf.events = buf.events[:0]
-		for off := 0; off < len(payload); off += recordSize {
-			buf.events = append(buf.events, decodeRecord(payload[off:off+recordSize]))
-		}
-		msg.events = buf.events
+		msg.events = evs
+		msg.stored = len(payload)
+		msg.raw = len(payload)
 	case frameSymtab:
 		s, err := decodeSymtab(payload)
 		if err != nil {
@@ -488,23 +685,66 @@ func (d *frameDecoder) next(buf *frameBuf) frameMsg {
 	return msg
 }
 
+// v3 event-frame payload prefix: flags u8 | count u32.
+const v3EventHeaderSize = 5
+
+// decodeEventsV3 decodes a CRC-valid v3 event-frame payload into the
+// frame's reusable batch. The CRC already vouches for the bytes, so
+// any structural failure here (unknown codec, lying count, ragged
+// columns) is writer-side damage and reported as corruption.
+func (d *frameDecoder) decodeEventsV3(payload []byte, buf *frameBuf, msg *frameMsg) error {
+	if len(payload) < v3EventHeaderSize {
+		return errors.New("short event frame")
+	}
+	flags := payload[0]
+	count := binary.LittleEndian.Uint32(payload[1:])
+	if count > maxFrameRecords {
+		return fmt.Errorf("implausible event count %d", count)
+	}
+	body := payload[v3EventHeaderSize:]
+	msg.stored = len(payload)
+	msg.raw = len(payload)
+	if flags != codecRaw {
+		if flags != codecFlate {
+			return fmt.Errorf("unknown event frame codec %d", flags)
+		}
+		var err error
+		d.decomp, err = d.inflate.Decompress(d.decomp, body, int(count)*maxEncodedRecord+v3EventHeaderSize)
+		if err != nil {
+			return errors.New("bad compressed event frame")
+		}
+		body = d.decomp
+		msg.raw = v3EventHeaderSize + len(body)
+		msg.compressed = true
+	}
+	evs, err := decodeColumns(body, int(count), buf.events.Grow(int(count)))
+	if err != nil {
+		return err
+	}
+	msg.events = evs
+	return nil
+}
+
 // readAheadDepth is how many decoded frames the read-ahead goroutine
 // may run in front of the consumer. Each in-flight frame owns its own
 // frameBuf, so depth bounds both memory and the msgs channel.
 const readAheadDepth = 4
 
-// replayV2 walks the frame sequence. Strict mode demands every frame
-// intact plus a matching end frame; salvage mode stops at the first
-// damaged frame and keeps everything before it. With opts.ReadAhead
-// the frameDecoder runs on its own goroutine, recycling frameBufs
-// through a channel pair; the goroutine always terminates because the
-// decoder emits exactly one terminal message (error or end frame) and
-// the consumer always reads to it.
-func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool, opts ReadOptions) (*event.Symtab, uint64, *SalvageInfo, error) {
+// replayFramed walks the frame sequence of a v2 or v3 trace — the
+// envelope is shared, only the event-frame payload decoding differs.
+// Strict mode demands every frame intact plus a matching end frame;
+// salvage mode stops at the first damaged frame and keeps everything
+// before it. With opts.ReadAhead the frameDecoder runs on its own
+// goroutine, recycling frameBufs through a channel pair; the
+// goroutine always terminates because the decoder emits exactly one
+// terminal message (error or end frame) and the consumer always reads
+// to it.
+func replayFramed(r io.ReadSeeker, sink event.Sink, version uint32, size int64, salvage bool, opts ReadOptions) (*event.Symtab, uint64, *SalvageInfo, error) {
 	dec := &frameDecoder{
-		br:     bufio.NewReaderSize(r, 1<<16),
-		offset: 8,
-		size:   size,
+		br:      bufio.NewReaderSize(r, 1<<16),
+		version: version,
+		offset:  8,
+		size:    size,
 	}
 	var next func() frameMsg
 	var release func(*frameBuf)
@@ -539,6 +779,9 @@ func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool, opts R
 	sawEnd := false
 
 	corrupt := func(format string, args ...any) (*event.Symtab, uint64, *SalvageInfo, error) {
+		if opts.Stats != nil {
+			opts.Stats.Events = replayed
+		}
 		if salvage {
 			info.EventsRecovered = replayed
 			info.BytesDropped = uint64(size - offset)
@@ -557,6 +800,14 @@ func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool, opts R
 		case frameEvents:
 			event.EmitAll(sink, msg.events)
 			replayed += uint64(len(msg.events))
+			if st := opts.Stats; st != nil {
+				st.EventFrames++
+				st.StoredEventBytes += uint64(msg.stored)
+				st.RawEventBytes += uint64(msg.raw)
+				if msg.compressed {
+					st.CompressedFrames++
+				}
+			}
 		case frameSymtab:
 			sym = msg.sym
 		case frameEnd:
@@ -564,6 +815,9 @@ func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool, opts R
 			sawEnd = true
 		}
 		release(msg.buf)
+	}
+	if opts.Stats != nil {
+		opts.Stats.Events = replayed
 	}
 	if declared != replayed {
 		return corrupt("end frame declares %d events, replayed %d", declared, replayed)
@@ -589,13 +843,22 @@ func replayV2(r io.ReadSeeker, sink event.Sink, size int64, salvage bool, opts R
 // when the trailer is unusable: with no framing or checksums in v1,
 // every complete 37-byte record after the header is reinterpreted as
 // an event and the symbol table is lost.
-func replayV1(r io.ReadSeeker, sink event.Sink, size int64, salvage bool) (*event.Symtab, uint64, *SalvageInfo, error) {
+func replayV1(r io.ReadSeeker, sink event.Sink, size int64, salvage bool, opts ReadOptions) (*event.Symtab, uint64, *SalvageInfo, error) {
+	v1Stats := func(n uint64) {
+		if opts.Stats != nil {
+			opts.Stats.Events = n
+			opts.Stats.StoredEventBytes = n * recordSize
+			opts.Stats.RawEventBytes = n * recordSize
+		}
+	}
 	sym, nEvents, symStart, err := readV1Trailer(r, size)
 	if err != nil {
 		if !salvage {
 			return nil, 0, nil, err
 		}
-		return salvageV1Prefix(r, sink, size)
+		s, n, info, err := salvageV1Prefix(r, sink, size)
+		v1Stats(n)
+		return s, n, info, err
 	}
 	// Replay events.
 	if _, err := r.Seek(8, io.SeekStart); err != nil {
@@ -605,6 +868,7 @@ func replayV1(r io.ReadSeeker, sink event.Sink, size int64, salvage bool) (*even
 	var rec [recordSize]byte
 	for i := uint64(0); i < nEvents; i++ {
 		if _, err := io.ReadFull(er, rec[:]); err != nil {
+			v1Stats(i)
 			if salvage {
 				return sym, i, &SalvageInfo{
 					EventsRecovered: i,
@@ -616,6 +880,7 @@ func replayV1(r io.ReadSeeker, sink event.Sink, size int64, salvage bool) (*even
 		}
 		sink.Emit(decodeRecord(rec[:]))
 	}
+	v1Stats(nEvents)
 	return sym, nEvents, &SalvageInfo{EventsRecovered: nEvents}, nil
 }
 

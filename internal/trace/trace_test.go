@@ -251,20 +251,46 @@ func TestOfflinePipeline(t *testing.T) {
 	}
 }
 
+// countingWriter tallies bytes without retaining them, so the write
+// benchmark measures encoding cost and size, not buffer management.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// BenchmarkWriterEmit measures the per-event cost and storage density
+// of the emit path across formats. The bytes/event metric is what the
+// CI trace-size gate budgets; allocs/op must stay flat (the encode
+// buffers are reused per frame, gated by TestWriterEmitAllocs).
 func BenchmarkWriterEmit(b *testing.B) {
-	var buf bytes.Buffer
-	w, err := NewWriter(&buf)
-	if err != nil {
-		b.Fatal(err)
-	}
-	e := event.Event{Type: event.Store, Fn: 3, Addr: 0x1000, Value: 0x2000}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		w.Emit(e)
-		if buf.Len() > 1<<24 {
-			buf.Reset()
-		}
+	evs := v3TestEvents(DefaultBatchRecords)
+	for _, tc := range []struct {
+		name string
+		opts WriterOptions
+	}{
+		{"v2", WriterOptions{Version: Version}},
+		{"v3", WriterOptions{Version: VersionV3}},
+		{"v3-flate", WriterOptions{Version: VersionV3, Compress: true}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var cw countingWriter
+			w, err := NewWriterWith(&cw, tc.opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.Emit(evs[i%len(evs)])
+			}
+			b.StopTimer()
+			if err := w.Close(nil); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(cw.n)/float64(b.N), "bytes/event")
+		})
 	}
 }
 

@@ -31,6 +31,14 @@ type RunConfig struct {
 	// Runs sharing Observers or ExtraSinks cannot be isolated, so
 	// Train falls back to serial when either is set.
 	Parallel int
+	// Record, when set, is invoked once per run before it starts, with
+	// the run's input and freshly created process; it subscribes
+	// whatever per-run sinks it needs (typically a trace writer) and
+	// returns a finish func called after the run completes. Unlike
+	// ExtraSinks — shared objects that force Train serial — Record
+	// builds private state per run, so recorded training remains
+	// parallel-safe.
+	Record func(in Input, p *prog.Process) (finish func() error, err error)
 }
 
 // DefaultFrequency is the sampling frequency used by the experiment
@@ -59,7 +67,22 @@ func RunLogged(w Workload, in Input, cfg RunConfig) (*logger.Report, *prog.Proce
 	for _, s := range cfg.ExtraSinks {
 		p.Subscribe(s)
 	}
+	var finish func() error
+	if cfg.Record != nil {
+		f, err := cfg.Record(in, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		finish = f
+	}
 	err := prog.Run(func() { w.Run(p, in, cfg.Version) })
+	if finish != nil {
+		// A recorder flush failure only matters when the run itself was
+		// clean; a crashed run's partial trace is salvageable by design.
+		if ferr := finish(); err == nil {
+			err = ferr
+		}
+	}
 	return l.Report(), p, err
 }
 
@@ -76,6 +99,8 @@ func Train(w Workload, n int, cfg RunConfig) ([]*logger.Report, error) {
 	if workers < 0 {
 		workers = sched.Workers(0)
 	}
+	// cfg.Record stays parallel: it constructs fresh per-run state
+	// inside each worker rather than sharing an object across runs.
 	if workers == 0 || len(cfg.Observers) > 0 || len(cfg.ExtraSinks) > 0 {
 		workers = 1
 	}

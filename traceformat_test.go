@@ -1,0 +1,143 @@
+package heapmd
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"heapmd/internal/logger"
+	"heapmd/internal/trace"
+)
+
+// v3BytesPerEventBudget is the CI trace-size regression gate: the
+// uncompressed v3 format must encode the recorded parser workload in
+// at most this many bytes per event. Measured at introduction: 11.72
+// (vs v2's fixed 37-byte records plus framing; the residual is almost
+// entirely the Value column of Load events, whose loaded heap words
+// are high-entropy). The budget leaves headroom for event-mix drift
+// without letting the encoding quietly decay toward fixed width.
+const v3BytesPerEventBudget = 13.0
+
+// TestTraceFormatEquivalence is the end-to-end cross-format oracle:
+// one parser-workload run recorded simultaneously as v2, v3 and
+// compressed v3 must replay — through the full logger — to
+// byte-identical reports and identical symbol tables. (The trace
+// package's TestCrossVersionEquivalence checks raw event sequences;
+// this covers the whole replay stack the CLI uses, v1 included via
+// that test since RecordTrace no longer writes it.)
+func TestTraceFormatEquivalence(t *testing.T) {
+	traces, nEvents := recordParserTraces(t)
+
+	type outcome struct {
+		report  []byte
+		symbols int
+	}
+	outcomes := map[string]outcome{}
+	for name, data := range traces {
+		var st TraceStats
+		rep, sym, info, err := ReplayTraceWith(bytes.NewReader(data), "parser", "in0",
+			ReplayOptions{Frequency: 1024, Stats: &st})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.EventsRecovered != nEvents {
+			t.Fatalf("%s: replayed %d events, recorded %d", name, info.EventsRecovered, nEvents)
+		}
+		if st.Events != nEvents {
+			t.Errorf("%s: stats counted %d events, want %d", name, st.Events, nEvents)
+		}
+		js, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		outcomes[name] = outcome{report: js, symbols: sym.Len()}
+	}
+	base := outcomes["v2"]
+	for name, o := range outcomes {
+		if !bytes.Equal(o.report, base.report) {
+			t.Errorf("%s: replayed report differs from v2's", name)
+		}
+		if o.symbols != base.symbols {
+			t.Errorf("%s: %d symbols, v2 replayed %d", name, o.symbols, base.symbols)
+		}
+	}
+}
+
+// TestTraceV3SizeBudget is the trace-size regression gate on the
+// recorded parser workload: v3 must stay at least 3x smaller than v2
+// per event (the format's acceptance bar) and within the committed
+// absolute budget.
+func TestTraceV3SizeBudget(t *testing.T) {
+	traces, nEvents := recordParserTraces(t)
+	v2bpe := float64(len(traces["v2"])) / float64(nEvents)
+	v3bpe := float64(len(traces["v3"])) / float64(nEvents)
+	zbpe := float64(len(traces["v3-flate"])) / float64(nEvents)
+	t.Logf("parser workload, %d events: v2 %.2f bytes/event, v3 %.2f, v3-flate %.2f",
+		nEvents, v2bpe, v3bpe, zbpe)
+	if v3bpe > v3BytesPerEventBudget {
+		t.Errorf("v3 = %.2f bytes/event, budget %.2f", v3bpe, v3BytesPerEventBudget)
+	}
+	if v3bpe*3 > v2bpe {
+		t.Errorf("v3 = %.2f bytes/event, not 3x smaller than v2's %.2f", v3bpe, v2bpe)
+	}
+	if zbpe > v3bpe {
+		t.Errorf("v3-flate = %.2f bytes/event, larger than raw v3's %.2f", zbpe, v3bpe)
+	}
+}
+
+// TestRecordTraceWithFormats checks the facade recording path: each
+// format option produces a trace that replays to the recorded event
+// count, and the compatibility default of RecordTrace stays v2.
+func TestRecordTraceWithFormats(t *testing.T) {
+	run := func(record func(r *Run, w *bytes.Buffer) (func() error, error)) ([]byte, uint64) {
+		s := NewSession(Options{Frequency: 1024})
+		r := s.NewRun("prog", "in", 1)
+		var buf bytes.Buffer
+		closeTrace, err := record(r, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := r.Process()
+		var n uint64
+		for i := 0; i < 5000; i++ {
+			leave := p.Enter("fn")
+			a := p.Alloc(64)
+			p.Free(a)
+			leave()
+			n += 4
+		}
+		if err := closeTrace(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), n
+	}
+	check := func(name string, data []byte, n, wantVersion uint64) {
+		var st TraceStats
+		_, _, info, err := ReplayTraceWith(bytes.NewReader(data), "prog", "in",
+			ReplayOptions{Frequency: 1024, Stats: &st})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if info.EventsRecovered < n {
+			t.Errorf("%s: replayed %d events, recorded at least %d", name, info.EventsRecovered, n)
+		}
+		if uint64(st.Version) != wantVersion {
+			t.Errorf("%s: trace is v%d, want v%d", name, st.Version, wantVersion)
+		}
+	}
+	data, n := run(func(r *Run, w *bytes.Buffer) (func() error, error) { return RecordTrace(r, w) })
+	check("RecordTrace", data, n, uint64(trace.Version))
+	data, n = run(func(r *Run, w *bytes.Buffer) (func() error, error) {
+		return RecordTraceWith(r, w, TraceOptions{})
+	})
+	check("RecordTraceWith zero", data, n, uint64(trace.VersionV3))
+	data, n = run(func(r *Run, w *bytes.Buffer) (func() error, error) {
+		return RecordTraceWith(r, w, TraceOptions{Version: TraceFormatV3, Compress: true})
+	})
+	check("RecordTraceWith compress", data, n, uint64(trace.VersionV3))
+	if _, err := RecordTraceWith(nil, nil, TraceOptions{Version: TraceFormatV2, Compress: true}); err == nil {
+		t.Error("compressed v2 recording accepted")
+	}
+}
+
+var _ = logger.SimulationFrequency // keep import if constants above change
