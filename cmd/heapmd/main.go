@@ -11,6 +11,7 @@
 //	heapmd check -workload gzip -model gzip.model [-fault dlist-missing-prev[:prob]] [-inputs 5]
 //	heapmd replay -trace run.trace [more.trace ...] [-model gzip.model] [-salvage] [-parallel N]
 //	heapmd plot  -workload vpr -metric Outdeg=1 [-model vpr.model] [-fault ...]
+//	heapmd soak  -duration 30s -seed 1 [-policy block|drop] [-faults a,b] [-check]
 //	heapmd faults
 package main
 
@@ -23,14 +24,17 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"time"
 
 	"heapmd/internal/detect"
 	"heapmd/internal/faults"
+	"heapmd/internal/logger"
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
 	"heapmd/internal/plot"
 	"heapmd/internal/prog"
 	"heapmd/internal/sched"
+	"heapmd/internal/soak"
 	"heapmd/internal/trace"
 	"heapmd/internal/workloads"
 )
@@ -54,6 +58,8 @@ func main() {
 		err = cmdReplay(os.Args[2:])
 	case "plot":
 		err = cmdPlot(os.Args[2:])
+	case "soak":
+		err = cmdSoak(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -73,7 +79,8 @@ func usage() {
   heapmd train -workload W [-inputs N] -o FILE   build a model from clean runs
   heapmd check -workload W -model FILE [flags]   check held-out runs
   heapmd replay -trace FILE|DIR [FILE...]        ingest recorded traces (crash-safe, parallel)
-  heapmd plot  -workload W -metric M [flags]     plot a metric trajectory`)
+  heapmd plot  -workload W -metric M [flags]     plot a metric trajectory
+  heapmd soak  [-duration D] [-seed N] [flags]   chaos-soak the fault catalog, emit a JSON scoreboard`)
 }
 
 func cmdList() error {
@@ -85,20 +92,70 @@ func cmdList() error {
 }
 
 func cmdFaults() error {
-	rows := []struct{ name, desc string }{
-		{faults.DListNoPrev, "skip prev pointers on doubly-linked-list insert (Figure 1)"},
-		{faults.TypoLeak, "wrong-index table copy leaks property lists (Figure 11)"},
-		{faults.SharedFree, "free shared circular-list head, dangling tail (Figure 12)"},
-		{faults.TreeNoParent, "omit child->parent pointers on tree insert (Figure 10)"},
-		{faults.OctDAG, "share oct-tree subtrees, producing an oct-DAG (poorly disguised)"},
-		{faults.BadHash, "degenerate hash function, long collision chains (indirect)"},
-		{faults.SingleChild, "binary-tree builder emits one child, not two (indirect)"},
-		{faults.AtypicalGraph, "adjacency-list generator collapses to a star (indirect)"},
-		{faults.SmallLeak, "leak a handful of objects (well disguised: should NOT fire)"},
-		{faults.ReachableLeak, "grow a never-accessed reachable cache (invisible to HeapMD)"},
+	fmt.Printf("%-24s %-17s %-7s %s\n", "Fault", "Class", "Detect", "Mechanism")
+	for _, e := range faults.Catalog() {
+		expect := "no"
+		if e.ExpectDetect {
+			expect = "yes"
+		}
+		fmt.Printf("%-24s %-17s %-7s %s\n", e.Name, e.Class, expect, e.Mechanism)
 	}
-	for _, r := range rows {
-		fmt.Printf("%-24s %s\n", r.name, r.desc)
+	return nil
+}
+
+func cmdSoak(args []string) error {
+	fs := flag.NewFlagSet("soak", flag.ExitOnError)
+	duration := fs.Duration("duration", 30*time.Second, "wall-clock soak budget beyond the minimum schedule (0 = minimum only)")
+	seed := fs.Int64("seed", 1, "soak seed (perturbs held-out inputs; equal seeds reproduce the scoreboard)")
+	faultList := fs.String("faults", "", "comma-separated fault names to soak (default: the whole catalog)")
+	policy := fs.String("policy", "block", "pipeline backpressure policy: block|drop")
+	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "cells soaked concurrently")
+	train := fs.Int("train", 0, "training inputs per workload model (0 = soak default)")
+	check := fs.Bool("check", false, "exit nonzero unless every verdict matches the taxonomy with zero warmup false positives")
+	out := fs.String("o", "", "write the JSON scoreboard to FILE (default: stdout)")
+	quiet := fs.Bool("q", false, "suppress per-cell progress lines on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opts := soak.Options{
+		Duration:    *duration,
+		Seed:        *seed,
+		Parallel:    *parallel,
+		TrainInputs: *train,
+	}
+	switch *policy {
+	case "block":
+		opts.Policy = logger.Block
+	case "drop":
+		opts.Policy = logger.Drop
+	default:
+		return fmt.Errorf("unknown policy %q (want block or drop)", *policy)
+	}
+	if *faultList != "" {
+		opts.Faults = strings.Split(*faultList, ",")
+	}
+	if !*quiet {
+		opts.Progress = os.Stderr
+	}
+	sb, err := soak.Run(opts)
+	if err != nil {
+		return err
+	}
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := sb.WriteJSON(dst); err != nil {
+		return err
+	}
+	if *check && !sb.OK() {
+		return fmt.Errorf("scoreboard not clean: %d missed, %d false alarms, %d warmup false positives",
+			sb.Summary.Missed, sb.Summary.FalseAlarms, sb.Summary.WarmupFalsePositives)
 	}
 	return nil
 }

@@ -127,6 +127,16 @@ func (l *DList) InsertAfter(node uint64, value uint64) uint64 {
 // Remove unlinks and frees the given node, using whatever linkage is
 // actually present (tolerating fault-damaged prev pointers by
 // searching forward when needed).
+//
+// Under faults.ABARewire the node is handed back to the allocator
+// *before* the unlink completes — the ABA shape: a concurrent-looking
+// remove path that frees first and rewires through the stale pointer.
+// The neighbor stores still land in live objects, but clearing the
+// node's own linkage goes through a dangling pointer, and once the
+// allocator recycles the address those use-after-free stores would
+// corrupt whatever object lives there now. The heap simulator counts
+// them as wild stores, which the health thresholds surface as an
+// InstrumentationAnomaly.
 func (l *DList) Remove(node uint64) {
 	defer l.p.Enter(l.name + ".remove")()
 	prev := l.p.LoadField(node, dnodePrev)
@@ -140,6 +150,10 @@ func (l *DList) Remove(node uint64) {
 			}
 		}
 	}
+	aba := l.p.Hit(faults.ABARewire)
+	if aba {
+		l.p.Free(node) // freed before the unlink is complete
+	}
 	if prev != 0 {
 		l.p.StoreField(prev, dnodeNext, next)
 	} else {
@@ -150,7 +164,14 @@ func (l *DList) Remove(node uint64) {
 	} else {
 		l.setTail(prev)
 	}
-	l.p.Free(node)
+	if aba {
+		// "Poison on destroy" through the stale pointer: wild stores
+		// into freed (possibly recycled) memory.
+		l.p.StoreField(node, dnodePrev, 0)
+		l.p.StoreField(node, dnodeNext, 0)
+	} else {
+		l.p.Free(node)
+	}
 	l.setLen(l.Len() - 1)
 }
 

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 )
 
@@ -77,6 +78,126 @@ func TestProbability(t *testing.T) {
 	q := NewPlan().Enable(BadHash, Config{Prob: 0.5})
 	if q.Hit(BadHash, nil) {
 		t.Error("probabilistic fault fired without RNG")
+	}
+}
+
+// TestProbZeroMeansAlways pins the Config.Prob zero-value semantics:
+// an enabled fault whose Prob was left at 0 fires at every
+// opportunity, exactly like Always(). Soak schedules rely on this
+// staying true — a silent change would turn "always" into "never".
+func TestProbZeroMeansAlways(t *testing.T) {
+	p := NewPlan().Enable(DListNoPrev, Config{})
+	for i := 0; i < 100; i++ {
+		if !p.Hit(DListNoPrev, nil) {
+			t.Fatal("zero-Prob enabled fault did not fire")
+		}
+	}
+	q := NewPlan().Enable(TypoLeak, Always())
+	if !q.Hit(TypoLeak, nil) {
+		t.Fatal("Always() config did not fire")
+	}
+	if Always() != (Config{}) {
+		t.Error("Always() is not the zero Config")
+	}
+}
+
+func TestProbOf(t *testing.T) {
+	cfg := ProbOf(0.25)
+	if cfg.Prob != 0.25 {
+		t.Errorf("ProbOf(0.25).Prob = %v", cfg.Prob)
+	}
+	if ProbOf(1).Prob != 1 {
+		t.Error("ProbOf(1) must be valid (certain firing)")
+	}
+	for _, bad := range []float64{0, -0.1, 1.1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("ProbOf(%v) did not panic", bad)
+				}
+			}()
+			ProbOf(bad)
+		}()
+	}
+}
+
+// TestPlanConcurrentHit is the -race regression for sharing one plan
+// across goroutines (the soak/parallel use case): concurrent Hit,
+// accessor and Reset traffic must be data-race free, trigger counts
+// must be exact, and a MaxTriggers budget must never be exceeded.
+func TestPlanConcurrentHit(t *testing.T) {
+	p := NewPlan().
+		EnableAlways(TypoLeak).
+		Enable(BadHash, ProbOf(0.5)).
+		Enable(SmallLeak, Config{MaxTriggers: 7})
+
+	const goroutines = 4
+	const hitsEach = 2000
+	budgetFired := make([]int, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < hitsEach; i++ {
+				p.Hit(TypoLeak, rng)
+				p.Hit(BadHash, rng)
+				if p.Hit(SmallLeak, rng) {
+					budgetFired[g]++
+				}
+				_ = p.Enabled(DListNoPrev)
+				_ = p.Triggers(TypoLeak)
+				_ = p.Active()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := p.Triggers(TypoLeak); got != goroutines*hitsEach {
+		t.Errorf("TypoLeak triggers = %d, want %d", got, goroutines*hitsEach)
+	}
+	total := 0
+	for _, n := range budgetFired {
+		total += n
+	}
+	if total != 7 {
+		t.Errorf("MaxTriggers budget fired %d times across goroutines, want exactly 7", total)
+	}
+	p.Reset()
+	if p.Triggers(TypoLeak) != 0 {
+		t.Error("Reset did not clear triggers")
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	entries := Catalog()
+	if len(entries) < 15 {
+		t.Fatalf("catalog has %d entries, want >= 15", len(entries))
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if seen[e.Name] {
+			t.Errorf("duplicate catalog entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Mechanism == "" {
+			t.Errorf("%s: empty mechanism", e.Name)
+		}
+		wantDetect := e.Class == Systemic || e.Class == Indirect || e.Class == PoorlyDisguised
+		if e.ExpectDetect != wantDetect {
+			t.Errorf("%s: ExpectDetect=%v inconsistent with class %s", e.Name, e.ExpectDetect, e.Class)
+		}
+	}
+	for _, name := range []string{DListNoPrev, FragStorm, LeakPlateau, ABARewire, AllocCascade, SlowDrift} {
+		if !seen[name] {
+			t.Errorf("catalog missing %s", name)
+		}
+	}
+	if e, ok := Lookup(SlowDrift); !ok || e.ExpectDetect {
+		t.Errorf("Lookup(SlowDrift) = %+v, %v; want a must-not-detect entry", e, ok)
+	}
+	if _, ok := Lookup("no-such-fault"); ok {
+		t.Error("Lookup of unknown fault succeeded")
 	}
 }
 

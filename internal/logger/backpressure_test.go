@@ -1,0 +1,97 @@
+package logger
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestDropPolicyExactAccounting pins the Drop policy's bookkeeping
+// under sustained overload: with the consumer gated shut, producers
+// far outrun the queue and shed most of their batches — but every
+// single event must be accounted for, either consumed by the logger
+// or tallied in the drop counter. produced == consumed + dropped,
+// exactly, and the loss must surface in the report's health counters
+// (never lose events silently).
+func TestDropPolicyExactAccounting(t *testing.T) {
+	gate := make(chan struct{})
+	l := New(Options{Frequency: 16})
+	p := NewPipeline(l, PipelineOptions{
+		BatchSize:  8,
+		QueueDepth: 2,
+		Policy:     Drop,
+		Gate:       gate,
+	})
+
+	// Two producers on separate goroutines: the MPSC shape the
+	// pipeline exists for. Each stream lives in its own arena, so
+	// the event mix is valid regardless of which batches survive.
+	const producers = 2
+	counts := make([]uint64, producers)
+	var wg sync.WaitGroup
+	for g := 0; g < producers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			pr := p.NewProducer()
+			for _, e := range arenaEvents(uint64(g), 400) {
+				pr.Emit(e)
+				counts[g]++
+			}
+			pr.Close()
+		}(g)
+	}
+	wg.Wait()
+
+	// All producers are done; whatever still sits in the queue (and
+	// the one batch the consumer holds at the gate) drains now.
+	close(gate)
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var produced uint64
+	for _, n := range counts {
+		produced += n
+	}
+	dropped := p.Dropped()
+	rep := l.Report()
+
+	if dropped == 0 {
+		t.Fatal("gated queue of 2×8 events shed nothing under sustained overload")
+	}
+	if rep.Events+dropped != produced {
+		t.Errorf("events unaccounted for: consumed %d + dropped %d != produced %d",
+			rep.Events, dropped, produced)
+	}
+	if rep.Health.DroppedEvents != dropped {
+		t.Errorf("report health has %d dropped events, pipeline counted %d",
+			rep.Health.DroppedEvents, dropped)
+	}
+}
+
+// TestDropPolicyCleanUnderrun: a Drop pipeline whose consumer keeps up
+// must shed nothing and report clean health — Drop may only cost
+// completeness under overload, never in the steady state.
+func TestDropPolicyCleanUnderrun(t *testing.T) {
+	l := New(Options{Frequency: 16})
+	p := NewPipeline(l, PipelineOptions{Policy: Drop})
+	pr := p.NewProducer()
+	evs := arenaEvents(0, 300)
+	for _, e := range evs {
+		pr.Emit(e)
+	}
+	pr.Close()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Dropped(); got != 0 {
+		t.Errorf("unloaded pipeline dropped %d events", got)
+	}
+	rep := l.Report()
+	if rep.Events != uint64(len(evs)) {
+		t.Errorf("consumed %d of %d events", rep.Events, len(evs))
+	}
+	if rep.Health.DroppedEvents != 0 {
+		t.Errorf("health reports %d dropped events", rep.Health.DroppedEvents)
+	}
+}

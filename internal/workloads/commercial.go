@@ -23,17 +23,29 @@ func init() {
 	register(&productivityWL{base{name: "productivity", class: Commercial, stable: "Leaves", scale: 220, spread: 110, desc: "productivity suite: B-tree index, paragraph dlist, text blobs"}})
 }
 
+// slowDriftCap bounds the faults.SlowDrift creep: the total drifted
+// population stays an order of magnitude below every calibrated band
+// width — the sub-±1% drift of the paper's stability threshold that
+// HeapMD must NOT report.
+const slowDriftCap = 3
+
 // negativeLeaks executes the negative-control leak sites shared by
 // all commercial workloads: a tiny unreachable leak (well disguised —
-// HeapMD must not fire) and a reachable "cache that is never pruned"
-// leak (invisible to HeapMD, stale for SWAT). The reachable leak
-// parks objects in spare slots of a preallocated cache table: each
-// trigger adds one leaf object and nothing else, so the heap-graph
-// barely notices, while SWAT sees a growing pile of never-accessed
-// objects at one allocation site.
-func negativeLeaks(p *prog.Process, name string, cache *ptrTable, next *int) {
+// HeapMD must not fire), a slow sub-threshold drift (well disguised —
+// a trickle of tiny objects capped at slowDriftCap so the metrics
+// creep by well under the stability threshold), and a reachable
+// "cache that is never pruned" leak (invisible to HeapMD, stale for
+// SWAT). The reachable leak parks objects in spare slots of a
+// preallocated cache table: each trigger adds one leaf object and
+// nothing else, so the heap-graph barely notices, while SWAT sees a
+// growing pile of never-accessed objects at one allocation site.
+func negativeLeaks(p *prog.Process, name string, cache *ptrTable, next, drift *int) {
 	if p.Hit(faults.SmallLeak) {
 		leakObjects(p, name, 1, 4)
+	}
+	if p.Hit(faults.SlowDrift) && *drift < slowDriftCap {
+		leakObjects(p, name, 1, 2)
+		*drift++
 	}
 	if p.Hit(faults.ReachableLeak) && *next < cache.len() {
 		defer p.Enter(name + ".cacheStore")()
@@ -64,6 +76,7 @@ func (w *multimediaWL) Run(p *prog.Process, in Input, version int) {
 	var codec *ds.HashTable
 	var cache *ptrTable
 	cacheNext := 0
+	driftN := 0
 	var scratch []uint64
 	phase(p, "mm.startup", func() {
 		framePool = newPtrTable(p, "mm.frames", frames)
@@ -123,7 +136,7 @@ func (w *multimediaWL) Run(p *prog.Process, in Input, version int) {
 				props.fill(j, 3)
 				props.migrate(collector, rng.Intn(24), j)
 			}
-			negativeLeaks(p, "mm", cache, &cacheNext)
+			negativeLeaks(p, "mm", cache, &cacheNext, &driftN)
 		})
 	}
 	phase(p, "mm.shutdown", func() {
@@ -162,7 +175,9 @@ func (w *webappWL) Run(p *prog.Process, in Input, version int) {
 	var props *propertyTable
 	var collector *ptrTable
 	var cache *ptrTable
+	var assemble *burstPool
 	cacheNext := 0
+	driftN := 0
 	var scratch []uint64
 	phase(p, "web.startup", func() {
 		sessTab = newPtrTable(p, "web.sessions", sessions)
@@ -190,6 +205,7 @@ func (w *webappWL) Run(p *prog.Process, in Input, version int) {
 		collector = newPtrTable(p, "web.collected", 12)
 		respTab = newPtrTable(p, "web.responses", in.Scale)
 		respChurn = newChurnPool(respTab, 4)
+		assemble = newBurstPool(p, "web.assemble")
 		cache = newPtrTable(p, "web.cachetab", 64)
 		scratch = scratchRoots(p, "web", in)
 	})
@@ -216,6 +232,8 @@ func (w *webappWL) Run(p *prog.Process, in Input, version int) {
 			}
 			respChurn.tick(rng)
 			respChurn.tick(rng)
+			// Response assembly scratch — the AllocCascade site.
+			assemble.tick()
 			if r%8 == 5 {
 				j := 1 + rng.Intn(11)
 				props.fill(j, 3)
@@ -228,11 +246,12 @@ func (w *webappWL) Run(p *prog.Process, in Input, version int) {
 					collector.set(dst, 0)
 				}
 			}
-			negativeLeaks(p, "web", cache, &cacheNext)
+			negativeLeaks(p, "web", cache, &cacheNext, &driftN)
 		})
 	}
 	phase(p, "web.shutdown", func() {
 		freeScratch(p, "web", scratch)
+		assemble.drain()
 		respTab.freeAll()
 		notices.FreeAll()
 		sessTab.freeAll()
@@ -268,6 +287,7 @@ func (w *gameSimWL) Run(p *prog.Process, in Input, version int) {
 	var collector *ptrTable
 	var cache *ptrTable
 	cacheNext := 0
+	driftN := 0
 	var scratch []uint64
 	phase(p, "sim.startup", func() {
 		regionTab = newPtrTable(p, "sim.regions", regions)
@@ -331,7 +351,7 @@ func (w *gameSimWL) Run(p *prog.Process, in Input, version int) {
 				props.fill(j, 3)
 				props.migrate(collector, rng.Intn(12), j)
 			}
-			negativeLeaks(p, "sim", cache, &cacheNext)
+			negativeLeaks(p, "sim", cache, &cacheNext, &driftN)
 		})
 	}
 	phase(p, "sim.shutdown", func() {
@@ -380,6 +400,7 @@ func (w *gameActionWL) Run(p *prog.Process, in Input, version int) {
 	var collector *ptrTable
 	var cache *ptrTable
 	cacheNext := 0
+	driftN := 0
 	var scratch []uint64
 	sceneKeys := make([]uint64, 0, 512)
 	phase(p, "act.startup", func() {
@@ -477,7 +498,7 @@ func (w *gameActionWL) Run(p *prog.Process, in Input, version int) {
 				props.fill(j, 3)
 				props.migrate(collector, rng.Intn(10), j)
 			}
-			negativeLeaks(p, "act", cache, &cacheNext)
+			negativeLeaks(p, "act", cache, &cacheNext, &driftN)
 		})
 	}
 	phase(p, "act.shutdown", func() {
@@ -519,6 +540,7 @@ func (w *productivityWL) Run(p *prog.Process, in Input, version int) {
 	var styles *ds.HashTable
 	var cache *ptrTable
 	cacheNext := 0
+	driftN := 0
 	var scratch []uint64
 	phase(p, "prod.startup", func() {
 		index = ds.NewBTree(p, "prod.index")
@@ -557,7 +579,7 @@ func (w *productivityWL) Run(p *prog.Process, in Input, version int) {
 			undo.PushFront(uint64(e))
 			undo.PopFront()
 			styles.Get(uint64(rng.Intn(32)))
-			negativeLeaks(p, "prod", cache, &cacheNext)
+			negativeLeaks(p, "prod", cache, &cacheNext, &driftN)
 		})
 	}
 	phase(p, "prod.shutdown", func() {

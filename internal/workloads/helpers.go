@@ -39,7 +39,13 @@ func (t *ptrTable) set(i int, v uint64) { t.p.StoreField(t.addr, i, v) }
 func (t *ptrTable) replace(i, words int) uint64 {
 	defer t.p.Enter(t.name + ".replace")()
 	if old := t.get(i); old != 0 {
-		t.p.Free(old)
+		// faults.LeakPlateau: the replace path forgets to release the
+		// outgoing object. Budgeted with MaxTriggers, the leak grows
+		// early in a run and then plateaus — the leak-then-stop shape
+		// the soak harness must still detect.
+		if !t.p.Hit(faults.LeakPlateau) {
+			t.p.Free(old)
+		}
 	}
 	obj := t.p.AllocWords(words)
 	t.set(i, obj)
@@ -245,6 +251,11 @@ type churnPool struct {
 	count  int // occupied slots (kept accurate by tick)
 	target int
 	lo, hi int
+	// frag holds fragments stranded by the FragStorm fault: objects
+	// from storm bursts whose release is deferred, so a standing
+	// population of mixed-size, unreferenced allocations builds up
+	// while the storm lasts.
+	frag []uint64
 }
 
 // newChurnPool wraps a table whose slots 0..hi-1 participate; it
@@ -257,10 +268,48 @@ func newChurnPool(t *ptrTable, words int) *churnPool {
 	return cp
 }
 
+// stormBurst is the number of mixed-size allocations one FragStorm
+// trigger performs; half are freed immediately (churning the
+// allocator's size-class free lists), half are stranded in frag.
+const stormBurst = 32
+
+// stormKeep caps the stranded-fragment population: when it overflows,
+// the oldest half is released — the storm keeps the allocator hot
+// without turning into an unbounded leak.
+const stormKeep = 384
+
+// storm is the faults.FragStorm body: an alloc/free size-churn burst.
+// The stranded fragments are isolated heap-graph vertices (no in- or
+// out-edges), so a sustained storm inflates the Roots, Leaves and
+// In=Out populations out of their calibrated bands while it lasts.
+func (cp *churnPool) storm() {
+	defer cp.t.p.Enter(cp.t.name + ".storm")()
+	p := cp.t.p
+	sizes := [...]int{1, 17, 2, 33, 3, 9}
+	for k := 0; k < stormBurst; k++ {
+		o := p.AllocWords(sizes[k%len(sizes)])
+		if k%2 == 0 {
+			p.Free(o)
+			continue
+		}
+		cp.frag = append(cp.frag, o)
+	}
+	if len(cp.frag) > stormKeep {
+		n := len(cp.frag) / 2
+		for _, o := range cp.frag[:n] {
+			p.Free(o)
+		}
+		cp.frag = append(cp.frag[:0], cp.frag[n:]...)
+	}
+}
+
 // tick advances the random walk: the occupancy target drifts by at
 // most one slot-step per call, and one slot is allocated, freed or
 // replaced to chase it. Every mutation is a single function entry.
 func (cp *churnPool) tick(rng *rand.Rand) {
+	if cp.t.p.Hit(faults.FragStorm) {
+		cp.storm()
+	}
 	step := cp.t.len() / 50
 	if step < 1 {
 		step = 1
@@ -338,4 +387,67 @@ func leakObjects(p *prog.Process, name string, n, words int) {
 	for i := 0; i < n; i++ {
 		p.AllocWords(words)
 	}
+}
+
+// burstPool models transient operation-scoped scratch buffers
+// (request assembly areas, decode staging) and carries the
+// faults.AllocCascade site. Healthy code allocates a couple of
+// buffers per operation and frees them before returning — the heap
+// image at sample points never sees them. Under the fault, each
+// opportunity instead allocates a large burst whose release is
+// deferred several operations, so bursts overlap: standing allocator
+// pressure from unreferenced mixed-size objects, plus event spikes
+// that stress the monitoring pipeline.
+type burstPool struct {
+	p       *prog.Process
+	name    string
+	pending [][]uint64
+}
+
+// cascadeBurst is the allocations per AllocCascade trigger;
+// cascadeHold is how many operations a burst is retained before
+// release, so cascadeHold bursts overlap at steady state.
+const (
+	cascadeBurst = 128
+	cascadeHold  = 3
+)
+
+func newBurstPool(p *prog.Process, name string) *burstPool {
+	return &burstPool{p: p, name: name}
+}
+
+// tick is called once per operation (request, frame, edit).
+func (b *burstPool) tick() {
+	defer b.p.Enter(b.name + ".scratch")()
+	for len(b.pending) >= cascadeHold {
+		for _, o := range b.pending[0] {
+			b.p.Free(o)
+		}
+		b.pending = b.pending[1:]
+	}
+	if b.p.Hit(faults.AllocCascade) {
+		objs := make([]uint64, cascadeBurst)
+		for i := range objs {
+			objs[i] = b.p.AllocWords(2 + i%7)
+		}
+		b.pending = append(b.pending, objs)
+		return
+	}
+	// Healthy path: short-lived scratch, allocated and released
+	// within the same entry, invisible at sample boundaries.
+	a := b.p.AllocWords(3)
+	c := b.p.AllocWords(5)
+	b.p.Free(a)
+	b.p.Free(c)
+}
+
+// drain releases every still-pending burst (shutdown).
+func (b *burstPool) drain() {
+	defer b.p.Enter(b.name + ".drain")()
+	for _, batch := range b.pending {
+		for _, o := range batch {
+			b.p.Free(o)
+		}
+	}
+	b.pending = nil
 }
