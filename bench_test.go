@@ -610,3 +610,59 @@ func BenchmarkHeapSimulator(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkConnectivityMetricPoint measures the cost of one Components
+// metric point — a burst of heap churn followed by the component-count
+// query — under the snapshot walk and the incremental union-find
+// tracker. The snapshot path pays O(V+E) per point, so its cost grows
+// with heap size; the incremental path is costed by the churn between
+// points, so the per-point cost stays flat and the ratio is the PR's
+// headline speedup.
+func BenchmarkConnectivityMetricPoint(b *testing.B) {
+	build := func(n int, mode heapgraph.ConnectivityMode) *heapgraph.Graph {
+		g := heapgraph.New()
+		g.SetConnectivity(mode, 0)
+		for i := 0; i < n; i++ {
+			g.AddVertex(heapgraph.VertexID(i))
+		}
+		// Mostly list/tree-shaped linkage with some cross edges: the
+		// paper's heap shapes, and a mix of exact and conservative
+		// delete classes under churn.
+		for i := 1; i < n; i++ {
+			g.AddEdge(heapgraph.VertexID(i/2), heapgraph.VertexID(i))
+		}
+		for i := 0; i < n/8; i++ {
+			g.AddEdge(heapgraph.VertexID(i*7%n), heapgraph.VertexID(i*13%n))
+		}
+		return g
+	}
+	for _, n := range []int{10000, 50000, 200000} {
+		for _, mode := range []heapgraph.ConnectivityMode{
+			heapgraph.ConnectivitySnapshot,
+			heapgraph.ConnectivityIncremental,
+		} {
+			b.Run(fmt.Sprintf("V=%d/%s", n, mode), func(b *testing.B) {
+				g := build(n, mode)
+				g.ConnectedComponentCount() // settle the initial build
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// ~64 graph operations of churn per metric point:
+					// allocate a small linked run, free an old one.
+					base := heapgraph.VertexID(n + (i%1024)*16)
+					for j := 0; j < 16; j++ {
+						g.AddVertex(base + heapgraph.VertexID(j))
+						if j > 0 {
+							g.AddEdge(base+heapgraph.VertexID(j-1), base+heapgraph.VertexID(j))
+						}
+					}
+					old := heapgraph.VertexID(n + ((i+512)%1024)*16)
+					for j := 15; j >= 0; j-- {
+						g.RemoveVertex(old + heapgraph.VertexID(j))
+					}
+					g.ConnectedComponentCount()
+				}
+			})
+		}
+	}
+}

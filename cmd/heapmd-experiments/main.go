@@ -16,10 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"heapmd/internal/experiments"
+	"heapmd/internal/sched"
 )
 
 func main() {
@@ -27,10 +27,15 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 1, 2")
 	exp := flag.String("exp", "", "extra study: injection, thresholds, granularity")
 	quick := flag.Bool("quick", false, "cap input counts for a fast run")
-	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "experiment cells in flight (1 = serial; tables and figures are identical)")
+	parallel := flag.Int("parallel", 0, "experiment cells in flight (0 = all cores, 1 = serial; tables and figures are identical)")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Parallel: *parallel}
+	workers, err := sched.ParseParallel(*parallel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Quick: *quick, Parallel: workers}
 	all := *fig == "" && *table == "" && *exp == ""
 
 	type job struct {

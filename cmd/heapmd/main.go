@@ -21,13 +21,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"heapmd/internal/detect"
 	"heapmd/internal/faults"
+	"heapmd/internal/heapgraph"
 	"heapmd/internal/logger"
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
@@ -109,19 +109,31 @@ func cmdSoak(args []string) error {
 	seed := fs.Int64("seed", 1, "soak seed (perturbs held-out inputs; equal seeds reproduce the scoreboard)")
 	faultList := fs.String("faults", "", "comma-separated fault names to soak (default: the whole catalog)")
 	policy := fs.String("policy", "block", "pipeline backpressure policy: block|drop")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "cells soaked concurrently")
+	parallel := fs.Int("parallel", 0, "cells soaked concurrently (0 = all cores, 1 = serial)")
 	train := fs.Int("train", 0, "training inputs per workload model (0 = soak default)")
+	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
+	extended := fs.Bool("extended", false, "soak with the extended metric suite (adds WCC/SCC structure metrics)")
 	check := fs.Bool("check", false, "exit nonzero unless every verdict matches the taxonomy with zero warmup false positives")
 	out := fs.String("o", "", "write the JSON scoreboard to FILE (default: stdout)")
 	quiet := fs.Bool("q", false, "suppress per-cell progress lines on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	workers, err := sched.ParseParallel(*parallel)
+	if err != nil {
+		return err
+	}
+	conn, err := heapgraph.ParseConnectivity(*connectivity)
+	if err != nil {
+		return err
+	}
 	opts := soak.Options{
-		Duration:    *duration,
-		Seed:        *seed,
-		Parallel:    *parallel,
-		TrainInputs: *train,
+		Duration:     *duration,
+		Seed:         *seed,
+		Parallel:     workers,
+		TrainInputs:  *train,
+		Connectivity: conn,
+		Extended:     *extended,
 	}
 	switch *policy {
 	case "block":
@@ -166,10 +178,12 @@ func cmdTrain(args []string) error {
 	inputs := fs.Int("inputs", 25, "number of training inputs")
 	out := fs.String("o", "", "output model file (default: stdout)")
 	version := fs.Int("version", 1, "development version (commercial workloads)")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "training runs in flight (1 = serial; results are identical)")
+	parallel := fs.Int("parallel", 0, "training runs in flight (0 = all cores, 1 = serial; results are identical)")
 	recordDir := fs.String("record-traces", "", "record each run's event stream to DIR/<input>.trace for later 'heapmd replay'")
 	traceFormat := fs.Uint("trace-format", uint(trace.VersionV3), "trace format version to record (2 or 3)")
 	compress := fs.Bool("compress", false, "flate-compress recorded v3 trace frames (smaller files, same replay)")
+	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
+	extended := fs.Bool("extended", false, "train on the extended metric suite (adds WCC/SCC structure metrics)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -177,7 +191,15 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	cfg := workloads.RunConfig{Version: *version, Parallel: *parallel}
+	workers, err := sched.ParseParallel(*parallel)
+	if err != nil {
+		return err
+	}
+	logOpts, err := connectivityOptions(*connectivity, *extended)
+	if err != nil {
+		return err
+	}
+	cfg := workloads.RunConfig{Version: *version, Parallel: workers, Logger: logOpts}
 	if *recordDir != "" {
 		// Recording stays parallel: the hook opens a private writer per
 		// run (see RunConfig.Record).
@@ -251,6 +273,20 @@ func traceRecorder(dir string, format uint32, compress bool) (func(in workloads.
 	}, nil
 }
 
+// connectivityOptions resolves the -connectivity/-extended flag pair
+// shared by train and check into logger options.
+func connectivityOptions(connectivity string, extended bool) (logger.Options, error) {
+	mode, err := heapgraph.ParseConnectivity(connectivity)
+	if err != nil {
+		return logger.Options{}, err
+	}
+	opts := logger.Options{Connectivity: mode}
+	if extended {
+		opts.Suite = metrics.ExtendedSuite()
+	}
+	return opts, nil
+}
+
 // parseFault parses "name[:prob[:maxTriggers]]".
 func parseFault(spec string) (string, faults.Config, error) {
 	parts := strings.Split(spec, ":")
@@ -285,14 +321,24 @@ func cmdCheck(args []string) error {
 	nTest := fs.Int("inputs", 5, "number of held-out inputs to check")
 	skip := fs.Int("skip", 25, "skip the first N inputs (assumed used for training)")
 	version := fs.Int("version", 1, "development version")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "check runs in flight (1 = serial; output is identical)")
+	parallel := fs.Int("parallel", 0, "check runs in flight (0 = all cores, 1 = serial; output is identical)")
 	recordDir := fs.String("record-traces", "", "record each run's event stream to DIR/<input>.trace for later 'heapmd replay'")
 	traceFormat := fs.Uint("trace-format", uint(trace.VersionV3), "trace format version to record (2 or 3)")
 	compress := fs.Bool("compress", false, "flate-compress recorded v3 trace frames (smaller files, same replay)")
+	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
+	extended := fs.Bool("extended", false, "check with the extended metric suite (adds WCC/SCC structure metrics)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	w, err := workloads.Get(*name)
+	if err != nil {
+		return err
+	}
+	workers, err := sched.ParseParallel(*parallel)
+	if err != nil {
+		return err
+	}
+	logOpts, err := connectivityOptions(*connectivity, *extended)
 	if err != nil {
 		return err
 	}
@@ -330,7 +376,7 @@ func cmdCheck(args []string) error {
 		text     string
 		findings int
 	}
-	outs, err := sched.Map(sched.Workers(*parallel), len(held), func(i int) (checkOut, error) {
+	outs, err := sched.Map(workers, len(held), func(i int) (checkOut, error) {
 		in := held[i]
 		var plan *faults.Plan
 		if faultName != "" {
@@ -338,7 +384,7 @@ func cmdCheck(args []string) error {
 		}
 		var b strings.Builder
 		out := checkOut{}
-		rep, p, err := workloads.RunLogged(w, in, workloads.RunConfig{Plan: plan, Version: *version, Record: record})
+		rep, p, err := workloads.RunLogged(w, in, workloads.RunConfig{Plan: plan, Version: *version, Record: record, Logger: logOpts})
 		if err != nil {
 			fmt.Fprintf(&b, "%s: run crashed: %v\n", in.Name, err)
 			out.text = b.String()

@@ -47,9 +47,10 @@ func cmdReplay(args []string) error {
 	readAhead := fs.Bool("readahead", heapmd.DefaultReadAhead(), "decode and CRC-check the next frame while the current one is applied (identical report; defaults on with >1 CPU, off single-core where the extra goroutine costs throughput)")
 	workers := fs.Int("metric-workers", 0, "compute expensive extension metrics on this many workers (0 = inline)")
 	extended := fs.Bool("extended", false, "compute the extended metric suite (adds WCC/SCC structure metrics)")
+	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
 	freq := fs.Uint64("freq", 0, "sampling frequency; must match the recording (0 = simulation default)")
 	retries := fs.Int("retries", 3, "max retries per read/seek on transient I/O errors")
-	parallel := fs.Int("parallel", runtime.GOMAXPROCS(0), "traces replayed in flight (1 = serial; output is identical)")
+	parallel := fs.Int("parallel", 0, "traces replayed in flight (0 = all cores, 1 = serial; output is identical)")
 	program := fs.String("program", "replayed", "program name recorded in the report")
 	input := fs.String("input", "trace", "input name recorded in the report (single trace; multi-trace uses file names)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the replay to this file")
@@ -86,6 +87,18 @@ func cmdReplay(args []string) error {
 			}
 		}()
 	}
+	replayWorkers, err := sched.ParseParallel(*parallel)
+	if err != nil {
+		return err
+	}
+	metricWorkers, err := sched.ParseMetricWorkers(*workers)
+	if err != nil {
+		return err
+	}
+	conn, err := heapmd.ParseConnectivity(*connectivity)
+	if err != nil {
+		return err
+	}
 	var suite metrics.Suite
 	if *extended {
 		suite = metrics.ExtendedSuite()
@@ -96,8 +109,9 @@ func cmdReplay(args []string) error {
 			Salvage:       *salvage,
 			Pipelined:     *pipelined,
 			ReadAhead:     *readAhead,
-			MetricWorkers: *workers,
+			MetricWorkers: metricWorkers,
 			Suite:         suite,
+			Connectivity:  conn,
 		},
 		retries: *retries,
 		program: *program,
@@ -127,7 +141,7 @@ func cmdReplay(args []string) error {
 	// that order) decides the error, so the output is identical at any
 	// -parallel setting.
 	multiCfg := cfg
-	outs, err := sched.Map(sched.Workers(*parallel), len(paths), func(i int) (*replayOut, error) {
+	outs, err := sched.Map(replayWorkers, len(paths), func(i int) (*replayOut, error) {
 		c := multiCfg
 		c.input = filepath.Base(paths[i])
 		return replayOne(paths[i], c)

@@ -41,6 +41,7 @@ import (
 	"heapmd/internal/event"
 	"heapmd/internal/faults"
 	"heapmd/internal/health"
+	"heapmd/internal/heapgraph"
 	"heapmd/internal/logger"
 	"heapmd/internal/metrics"
 	"heapmd/internal/model"
@@ -117,7 +118,32 @@ type (
 	// PipelineOptions configures batching, queue depth and the
 	// backpressure policy of a Pipeline.
 	PipelineOptions = logger.PipelineOptions
+
+	// ConnectivityMode selects how the Components extension metric
+	// obtains the weak component count: snapshot walks, the
+	// incremental union-find tracker, or both with a divergence check.
+	ConnectivityMode = heapgraph.ConnectivityMode
 )
+
+// Connectivity modes for Options.Connectivity and
+// ReplayOptions.Connectivity.
+const (
+	// ConnectivitySnapshot recomputes components with a
+	// generation-memoized full graph walk (default).
+	ConnectivitySnapshot = heapgraph.ConnectivitySnapshot
+	// ConnectivityIncremental maintains the component count under
+	// mutation, costing metric points by churn instead of heap size.
+	ConnectivityIncremental = heapgraph.ConnectivityIncremental
+	// ConnectivityVerify runs both paths and panics on divergence; a
+	// differential-oracle mode for tests and CI.
+	ConnectivityVerify = heapgraph.ConnectivityVerify
+)
+
+// ParseConnectivity resolves a -connectivity flag value
+// ("snapshot", "incremental" or "verify").
+func ParseConnectivity(s string) (ConnectivityMode, error) {
+	return heapgraph.ParseConnectivity(s)
+}
 
 // Backpressure policies for PipelineOptions.Policy.
 const (
@@ -177,6 +203,14 @@ type Options struct {
 	// path; see logger.Options.MetricWorkers. Only meaningful with a
 	// suite that includes those metrics.
 	MetricWorkers int
+	// Connectivity selects how the Components metric obtains the
+	// weak component count; see logger.Options.Connectivity. The zero
+	// value is the snapshot walk.
+	Connectivity ConnectivityMode
+	// RebuildThreshold is the incremental connectivity tracker's
+	// delete budget between amortized re-unions; zero selects the
+	// default. Ignored in snapshot mode.
+	RebuildThreshold int
 }
 
 // Session manages model construction across training runs.
@@ -216,7 +250,13 @@ func (s *Session) newRun(program, input string, seed int64, plan *FaultPlan) *Ru
 	if freq == 0 {
 		freq = logger.SimulationFrequency
 	}
-	l := logger.New(logger.Options{Frequency: freq, Granularity: gran, MetricWorkers: s.opts.MetricWorkers})
+	l := logger.New(logger.Options{
+		Frequency:        freq,
+		Granularity:      gran,
+		MetricWorkers:    s.opts.MetricWorkers,
+		Connectivity:     s.opts.Connectivity,
+		RebuildThreshold: s.opts.RebuildThreshold,
+	})
 	l.SetRun(program, input, 1)
 	p.Subscribe(l)
 	return &Run{process: p, log: l}
@@ -415,6 +455,12 @@ type ReplayOptions struct {
 	// replayed trace: format version, bytes per event, compression
 	// ratio.
 	Stats *TraceStats
+	// Connectivity selects how the Components metric obtains the
+	// weak component count during replay; see Options.Connectivity.
+	Connectivity ConnectivityMode
+	// RebuildThreshold is the incremental tracker's delete budget;
+	// see Options.RebuildThreshold.
+	RebuildThreshold int
 }
 
 // ReplayTrace replays a recorded trace into a fresh logger and
@@ -434,7 +480,13 @@ func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions
 	if freq == 0 {
 		freq = logger.SimulationFrequency
 	}
-	l := logger.New(logger.Options{Frequency: freq, Suite: opts.Suite, MetricWorkers: opts.MetricWorkers})
+	l := logger.New(logger.Options{
+		Frequency:        freq,
+		Suite:            opts.Suite,
+		MetricWorkers:    opts.MetricWorkers,
+		Connectivity:     opts.Connectivity,
+		RebuildThreshold: opts.RebuildThreshold,
+	})
 	l.SetRun(program, input, 1)
 	var sink event.Sink = l
 	var pipe *Pipeline

@@ -98,6 +98,11 @@ type Graph struct {
 
 	wccCache componentCache
 	sccCache componentCache
+
+	// Incremental weak-connectivity tracking (incremental.go). wcc is
+	// nil in snapshot mode; both fields are writer-goroutine state.
+	connMode ConnectivityMode
+	wcc      *wccTracker
 }
 
 // New returns an empty heap-graph.
@@ -241,13 +246,15 @@ func (g *Graph) AddVertex(v VertexID) {
 	if g.slotOf(v) != noSlot {
 		return
 	}
-	g.setSlot(v, g.newSlot(v))
+	s := g.newSlot(v)
+	g.setSlot(v, s)
 	sh := g.counts.shard(v)
 	sh.inHist[0].Add(1)
 	sh.outHist[0].Add(1)
 	sh.eq.Add(1) // 0 == 0
 	g.nVerts.Add(1)
 	g.gen.Add(1)
+	g.wccAddVertex(s)
 }
 
 // HasVertex reports whether v is present.
@@ -263,6 +270,9 @@ func (g *Graph) RemoveVertex(v VertexID) {
 	if s == noSlot {
 		return
 	}
+	// Classify the removal for the connectivity tracker before the
+	// neighbour sets are torn down (it needs the original adjacency).
+	g.wccRemoveVertex(v, s)
 	// Detach outgoing edges: each successor loses incoming
 	// multiplicity. The callbacks mutate only the neighbours' sets,
 	// never slot s's own, which each() permits.
@@ -306,6 +316,7 @@ func (g *Graph) RemoveVertex(v VertexID) {
 	g.freeSlots = append(g.freeSlots, s)
 	g.nVerts.Add(-1)
 	g.gen.Add(1)
+	g.wccSettle()
 }
 
 // AddEdge adds one unit of edge multiplicity from u to v. Both
@@ -334,6 +345,7 @@ func (g *Graph) AddEdge(u, v VertexID) bool {
 		in, out = int(g.inDeg[vs]), int(g.outDeg[vs])
 		g.trackIn(v, in, in+1, out)
 		g.inDeg[vs]++
+		g.wccAddEdge(us, vs)
 	}
 	g.edges.Add(1)
 	g.gen.Add(1)
@@ -362,9 +374,11 @@ func (g *Graph) RemoveEdge(u, v VertexID) bool {
 		in, out = int(g.inDeg[vs]), int(g.outDeg[vs])
 		g.trackIn(v, in, in-1, out)
 		g.inDeg[vs]--
+		g.wccRemoveEdge(u, v, us, vs)
 	}
 	g.edges.Add(-1)
 	g.gen.Add(1)
+	g.wccSettle()
 	return true
 }
 

@@ -1,0 +1,391 @@
+package heapgraph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// oracleCheck asserts the incremental count matches a from-scratch
+// component walk and that graph invariants hold.
+func oracleCheck(t *testing.T, g *Graph) {
+	t.Helper()
+	got := g.ConnectedComponentCount()
+	want := g.WeaklyConnectedComponents().Count
+	if got != want {
+		t.Fatalf("ConnectedComponentCount = %d, oracle = %d (V=%d E=%d)",
+			got, want, g.NumVertices(), g.NumEdges())
+	}
+	if msg := g.CheckInvariants(); msg != "" {
+		t.Fatalf("invariants violated: %s", msg)
+	}
+}
+
+// TestIncrementalWCCMatchesSnapshotRandom drives a delete-heavy random
+// mutation mix against the incremental tracker at several rebuild
+// thresholds (1 = rebuild on every conservative delete, 1<<30 = only
+// lazy query rebuilds) and checks the count against the snapshot walk
+// after every few operations.
+func TestIncrementalWCCMatchesSnapshotRandom(t *testing.T) {
+	for _, th := range []int{1, 4, DefaultRebuildThreshold, 1 << 30} {
+		th := th
+		t.Run("threshold="+itoa(uint64(th)), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(th)*7919 + 17))
+			g := New()
+			g.SetConnectivity(ConnectivityIncremental, th)
+			const idSpace = 48
+			for step := 0; step < 4000; step++ {
+				u := VertexID(rng.Intn(idSpace))
+				v := VertexID(rng.Intn(idSpace))
+				// Delete-heavy: the exact-maintenance paths are the add
+				// hooks; the delete classification is what needs soak.
+				switch rng.Intn(10) {
+				case 0, 1:
+					g.AddVertex(u)
+				case 2, 3, 4:
+					g.AddEdge(u, v)
+				case 5, 6:
+					g.RemoveEdge(u, v)
+				case 7, 8:
+					g.RemoveVertex(u)
+				case 9:
+					g.AddEdge(u, u) // self-loop: must not disturb the tracker
+				}
+				if step%3 == 0 {
+					oracleCheck(t, g)
+				}
+			}
+			oracleCheck(t, g)
+		})
+	}
+}
+
+// TestIncrementalWCCVerifyMode runs the same mutation mix through
+// verify mode, whose query path panics on divergence — the test
+// passing IS the differential result.
+func TestIncrementalWCCVerifyMode(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	g := New()
+	g.SetConnectivity(ConnectivityVerify, 2)
+	for step := 0; step < 2000; step++ {
+		u := VertexID(rng.Intn(32))
+		v := VertexID(rng.Intn(32))
+		switch rng.Intn(8) {
+		case 0:
+			g.AddVertex(u)
+		case 1, 2:
+			g.AddEdge(u, v)
+		case 3, 4:
+			g.RemoveEdge(u, v)
+		case 5, 6:
+			g.RemoveVertex(u)
+		case 7:
+			g.ConnectedComponentCount()
+		}
+	}
+	g.ConnectedComponentCount()
+}
+
+// TestIncrementalWCCVerifyPanicsOnDivergence corrupts the tracker's
+// count in-package and checks verify mode actually trips.
+func TestIncrementalWCCVerifyPanicsOnDivergence(t *testing.T) {
+	g := New()
+	g.SetConnectivity(ConnectivityVerify, 0)
+	g.AddVertex(1)
+	g.AddVertex(2)
+	g.AddEdge(1, 2)
+	g.ConnectedComponentCount() // build the tracker
+	g.wcc.count += 3            // inject divergence
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("verify mode did not panic on a diverged count")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "connectivity verify divergence") {
+			t.Fatalf("unexpected panic payload: %v", r)
+		}
+	}()
+	g.ConnectedComponentCount()
+}
+
+// TestIncrementalWCCExactShapes pins the delete shapes the tracker
+// claims to handle exactly: after each, the tracker must still be
+// clean (no dirty rebuild pending) and correct.
+func TestIncrementalWCCExactShapes(t *testing.T) {
+	clean := func(t *testing.T, g *Graph, wantCount int) {
+		t.Helper()
+		if got := g.ConnectedComponentCount(); got != wantCount {
+			t.Fatalf("count = %d, want %d", got, wantCount)
+		}
+		if g.wcc.dirty != 0 {
+			t.Fatalf("tracker dirty = %d after an exact-shape delete", g.wcc.dirty)
+		}
+		oracleCheck(t, g)
+	}
+
+	t.Run("parallel edge", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 0)
+		g.AddVertex(1)
+		g.AddVertex(2)
+		g.AddEdge(1, 2)
+		g.AddEdge(1, 2)
+		clean(t, g, 1)
+		g.RemoveEdge(1, 2) // one copy remains: exact no-op
+		clean(t, g, 1)
+	})
+
+	t.Run("reverse edge", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 0)
+		g.AddVertex(1)
+		g.AddVertex(2)
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 1)
+		clean(t, g, 1)
+		g.RemoveEdge(1, 2) // 2→1 remains: weak connectivity unchanged
+		clean(t, g, 1)
+	})
+
+	t.Run("edge isolating one endpoint", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 0)
+		for i := 1; i <= 3; i++ {
+			g.AddVertex(VertexID(i))
+		}
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 3)
+		clean(t, g, 1)
+		g.RemoveEdge(2, 3) // 3 becomes isolated: exact detach
+		clean(t, g, 2)
+	})
+
+	t.Run("edge isolating both endpoints", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 0)
+		g.AddVertex(1)
+		g.AddVertex(2)
+		g.AddEdge(1, 2)
+		clean(t, g, 1)
+		g.RemoveEdge(1, 2) // the pair case: count must go 1 → 2, not 1 → 3
+		clean(t, g, 2)
+	})
+
+	t.Run("self-loop removal", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 0)
+		g.AddVertex(1)
+		g.AddEdge(1, 1)
+		clean(t, g, 1)
+		g.RemoveEdge(1, 1)
+		clean(t, g, 1)
+	})
+
+	t.Run("singleton vertex removal", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 0)
+		g.AddVertex(1)
+		g.AddVertex(2)
+		clean(t, g, 2)
+		g.RemoveVertex(2)
+		clean(t, g, 1)
+	})
+
+	t.Run("leaf vertex removal", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 0)
+		for i := 1; i <= 4; i++ {
+			g.AddVertex(VertexID(i))
+		}
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 3)
+		g.AddEdge(3, 4)
+		clean(t, g, 1)
+		g.RemoveVertex(4) // one distinct neighbour: leaf, never splits
+		clean(t, g, 1)
+	})
+
+	t.Run("leaf with parallel and reverse edges", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 0)
+		g.AddVertex(1)
+		g.AddVertex(2)
+		g.AddVertex(3)
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 3)
+		g.AddEdge(2, 3)
+		g.AddEdge(3, 2)
+		g.AddEdge(3, 3)
+		clean(t, g, 1)
+		g.RemoveVertex(3) // still one distinct neighbour (2): exact leaf
+		clean(t, g, 1)
+	})
+
+	t.Run("interior vertex removal goes conservative", func(t *testing.T) {
+		g := New()
+		g.SetConnectivity(ConnectivityIncremental, 1<<30)
+		for i := 1; i <= 3; i++ {
+			g.AddVertex(VertexID(i))
+		}
+		g.AddEdge(1, 2)
+		g.AddEdge(2, 3)
+		if g.ConnectedComponentCount() != 1 {
+			t.Fatal("setup")
+		}
+		g.RemoveVertex(2) // ≥2 neighbours: must dirty, and the split must be seen
+		if g.wcc.dirty == 0 {
+			t.Fatal("interior removal did not mark the tracker dirty")
+		}
+		if got := g.ConnectedComponentCount(); got != 2 {
+			t.Fatalf("count after split = %d, want 2", got)
+		}
+		oracleCheck(t, g)
+	})
+}
+
+// TestIncrementalWCCSlotReuse recycles vertex slots through the
+// freelist while the tracker is live: a reused slot must come back as
+// a fresh singleton, not inherit the dead vertex's component.
+func TestIncrementalWCCSlotReuse(t *testing.T) {
+	g := New()
+	g.SetConnectivity(ConnectivityIncremental, 1<<30)
+	for i := 0; i < 16; i++ {
+		g.AddVertex(VertexID(i))
+	}
+	for i := 1; i < 16; i++ {
+		g.AddEdge(0, VertexID(i))
+	}
+	if g.ConnectedComponentCount() != 1 {
+		t.Fatal("setup")
+	}
+	for round := 0; round < 20; round++ {
+		// Leaf-remove a vertex (exact path), then re-add a new ID that
+		// reuses its slot.
+		victim := VertexID(round%15 + 1)
+		g.RemoveVertex(victim)
+		oracleCheck(t, g)
+		fresh := VertexID(1000 + round)
+		g.AddVertex(fresh)
+		oracleCheck(t, g) // fresh vertex must be its own component
+		g.AddEdge(0, fresh)
+		g.AddVertex(victim)
+		g.AddEdge(0, victim)
+		oracleCheck(t, g)
+	}
+}
+
+// TestIncrementalWCCSwitchModes flips a live graph between modes;
+// switching back to incremental must rebuild from scratch rather than
+// trust stale tracker state.
+func TestIncrementalWCCSwitchModes(t *testing.T) {
+	g := New()
+	g.SetConnectivity(ConnectivityIncremental, 0)
+	for i := 0; i < 8; i++ {
+		g.AddVertex(VertexID(i))
+		if i > 0 {
+			g.AddEdge(VertexID(i-1), VertexID(i))
+		}
+	}
+	oracleCheck(t, g)
+	g.SetConnectivity(ConnectivitySnapshot, 0)
+	if g.wcc != nil {
+		t.Fatal("snapshot mode should discard the tracker")
+	}
+	g.RemoveVertex(3) // mutate while untracked
+	if got, want := g.ConnectedComponentCount(), g.WeaklyConnectedComponents().Count; got != want {
+		t.Fatalf("snapshot count = %d, want %d", got, want)
+	}
+	g.SetConnectivity(ConnectivityIncremental, 0)
+	oracleCheck(t, g)
+	g.RemoveEdge(1, 2)
+	oracleCheck(t, g)
+}
+
+// TestIncrementalWCCAllocs is the steady-state allocation gate: once
+// the node arena has hit its high-water mark, churn (including detach
+// growth, threshold rebuilds and compaction) must reuse capacity.
+// Wired into CI without -race (race instrumentation allocates).
+func TestIncrementalWCCAllocs(t *testing.T) {
+	g := New()
+	g.SetConnectivity(ConnectivityIncremental, 8)
+	const ring = 256
+	for i := 0; i < ring; i++ {
+		g.AddVertex(VertexID(i))
+	}
+	for i := 0; i < ring; i++ {
+		g.AddEdge(VertexID(i), VertexID((i+1)%ring))
+	}
+	pendant := VertexID(ring)
+	g.AddVertex(pendant)
+	g.AddEdge(0, pendant)
+	g.ConnectedComponentCount()
+
+	round := func() {
+		for k := 0; k < 32; k++ {
+			// Detach churn: isolating the pendant appends a node to the
+			// arena; re-linking unions it back.
+			g.RemoveEdge(0, pendant)
+			g.AddEdge(0, pendant)
+			g.ConnectedComponentCount()
+		}
+		// Conservative churn: a ring edge removal can split, so it
+		// dirties the tracker and exercises the threshold rebuild.
+		for k := 0; k < 16; k++ {
+			e := VertexID(k * 7 % ring)
+			g.RemoveEdge(e, VertexID((int(e)+1)%ring))
+			g.AddEdge(e, VertexID((int(e)+1)%ring))
+			g.ConnectedComponentCount()
+		}
+	}
+	// Warm past the arena's high-water mark (growth and the compaction
+	// cycle are deterministic, so capacity stabilizes).
+	for i := 0; i < 64; i++ {
+		round()
+	}
+	if avg := testing.AllocsPerRun(50, round); avg != 0 {
+		t.Fatalf("steady-state churn allocates: %.1f allocs/round, want 0", avg)
+	}
+}
+
+// TestParseConnectivity covers the flag spellings and their round-trip
+// through String.
+func TestParseConnectivity(t *testing.T) {
+	for _, mode := range []ConnectivityMode{ConnectivitySnapshot, ConnectivityIncremental, ConnectivityVerify} {
+		got, err := ParseConnectivity(mode.String())
+		if err != nil || got != mode {
+			t.Errorf("ParseConnectivity(%q) = %v, %v", mode.String(), got, err)
+		}
+	}
+	if _, err := ParseConnectivity("eventual"); err == nil {
+		t.Error("ParseConnectivity accepted an unknown mode")
+	}
+}
+
+// TestFreezeSCCExcludesIsolated checks the SCC-only freeze: isolated
+// vertices are returned as a count instead of materialized, and the
+// structure still walks to the same SCC statistics once they are
+// added back.
+func TestFreezeSCCExcludesIsolated(t *testing.T) {
+	g := New()
+	for i := 0; i < 10; i++ {
+		g.AddVertex(VertexID(i))
+	}
+	// A 3-cycle, a 2-path, and 5 isolated vertices.
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 0)
+	g.AddEdge(3, 4)
+	st, isolated := g.FreezeSCC()
+	if isolated != 5 {
+		t.Fatalf("isolated = %d, want 5", isolated)
+	}
+	if st.NumVertices() != 5 {
+		t.Fatalf("frozen vertices = %d, want 5", st.NumVertices())
+	}
+	scc := st.StronglyConnectedComponents()
+	scc.Count += isolated
+	want := g.StronglyConnectedComponents()
+	if scc.Count != want.Count || scc.Largest != want.Largest {
+		t.Fatalf("SCC via FreezeSCC = %+v, full walk = %+v", scc, want)
+	}
+}

@@ -66,6 +66,61 @@ func (g *Graph) Freeze() *Structure {
 	return st
 }
 
+// FreezeSCC snapshots only what a strong-components analysis needs:
+// the out-adjacency of the non-isolated vertices. When the Components
+// metric is served by the incremental tracker, SCCs is the only
+// analysis left on the worker goroutines, and Tarjan never reads the
+// in-adjacency; isolated vertices (no edges in either direction) are
+// each trivially a singleton SCC — a singleton weak component the
+// incremental partition already accounts for — so they are counted
+// here instead of materialized. The returned structure is valid ONLY
+// for StronglyConnectedComponents (its in-adjacency is empty); the
+// caller must add `isolated` to the resulting Count, and isolated
+// vertices contribute components of size 1 to Largest. Like Freeze,
+// writer goroutine only.
+func (g *Graph) FreezeSCC() (st *Structure, isolated int) {
+	n := 0
+	for s := range g.ids {
+		if g.alive[s] {
+			if g.inDeg[s] == 0 && g.outDeg[s] == 0 {
+				isolated++
+			} else {
+				n++
+			}
+		}
+	}
+	st = &Structure{
+		out: make([][]int32, n),
+		in:  make([][]int32, 0),
+		gen: g.Generation(),
+	}
+	slotIdx := make([]int32, len(g.ids))
+	i := int32(0)
+	for s := range g.ids {
+		if g.alive[s] && (g.inDeg[s] != 0 || g.outDeg[s] != 0) {
+			slotIdx[s] = i
+			i++
+		} else {
+			slotIdx[s] = noSlot
+		}
+	}
+	for s := range g.ids {
+		if !g.alive[s] || slotIdx[s] == noSlot {
+			continue
+		}
+		vi := slotIdx[s]
+		if d := g.outAdj[s].distinct(); d > 0 {
+			succs := make([]int32, 0, d)
+			g.outAdj[s].each(func(id VertexID, _ int32) bool {
+				succs = append(succs, slotIdx[g.slotOf(id)])
+				return true
+			})
+			st.out[vi] = succs
+		}
+	}
+	return st, isolated
+}
+
 // NumVertices returns the number of vertices in the snapshot.
 func (s *Structure) NumVertices() int { return len(s.out) }
 

@@ -92,6 +92,16 @@ type Options struct {
 	// slots (carry-forward) rather than blocking. Ignored when the
 	// suite contains no expensive metric.
 	MetricWorkers int
+	// Connectivity selects how the Components metric obtains the weak
+	// component count: recomputed from a snapshot walk (the zero
+	// value, the original behavior), maintained incrementally under
+	// mutation, or both with a divergence check (verify — an oracle
+	// mode for tests). See heapgraph.ConnectivityMode.
+	Connectivity heapgraph.ConnectivityMode
+	// RebuildThreshold is the incremental tracker's delete budget
+	// between amortized re-unions; zero selects
+	// heapgraph.DefaultRebuildThreshold. Ignored in snapshot mode.
+	RebuildThreshold int
 }
 
 // SampleObserver is notified at every metric computation point with
@@ -212,6 +222,7 @@ func New(opts Options) *Logger {
 		stack:   callstack.NewTracker(),
 		freed:   make(map[uint64]struct{}),
 	}
+	l.graph.SetConnectivity(opts.Connectivity, opts.RebuildThreshold)
 	if opts.MetricWorkers > 0 {
 		for _, id := range opts.Suite.IDs() {
 			if id.Expensive() {

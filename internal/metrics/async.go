@@ -11,6 +11,15 @@
 // Wait() joins all outstanding work, after which every recorded
 // snapshot holds exact values — the final Report is identical to one
 // computed synchronously.
+//
+// When the graph runs in an incremental connectivity mode, Components
+// is no longer expensive: Compute reads the union-find tracker's
+// count synchronously (O(α) amortized in churn), and only SCCs —
+// if present in the suite — still goes to the workers, on a reduced
+// out-only snapshot (FreezeSCC) that the incremental weak partition
+// pre-shrinks by excluding isolated vertices. A suite whose only
+// expensive metric is Components then never freezes and never
+// dispatches at all.
 package metrics
 
 import (
@@ -20,18 +29,22 @@ import (
 )
 
 // expensiveMemo caches the last completed component analyses together
-// with the graph generation they were computed at.
+// with the graph generation they were computed at. The carry values
+// (the expensive metric *values* of the newest completed tick,
+// pre-filling snapshots whose exact results are still in flight) live
+// in fixed per-metric slots: their positions in the suite were
+// resolved once at construction, so Compute never performs per-call
+// suite lookups, and a metric absent from the suite has no slot for a
+// stale value to leak into.
 type expensiveMemo struct {
-	gen    uint64
-	tick   uint64
-	wcc    heapgraph.ComponentStats
-	scc    heapgraph.ComponentStats
-	hasWCC bool
-	hasSCC bool
-	// carry holds the expensive metric *values* of the newest
-	// completed tick, used to pre-fill snapshots while their exact
-	// results are still in flight.
-	carry map[ID]float64
+	gen      uint64
+	tick     uint64
+	wcc      heapgraph.ComponentStats
+	scc      heapgraph.ComponentStats
+	hasWCC   bool
+	hasSCC   bool
+	carryWCC float64 // valid iff hasWCC
+	carrySCC float64 // valid iff hasSCC
 }
 
 // asyncJob is one tick's expensive-metric computation.
@@ -39,22 +52,32 @@ type asyncJob struct {
 	st   *heapgraph.Structure
 	dest []float64 // the snapshot's Values array, shared by tick
 	tick uint64
-	// positions of the expensive metrics within dest, -1 if absent.
+	// vertices is the live vertex count at the tick; the percentage
+	// base. With FreezeSCC it differs from st.NumVertices().
+	vertices int
+	// isolated counts vertices excluded from a FreezeSCC snapshot,
+	// each a singleton SCC to add back to the Tarjan result. Always 0
+	// for full Freeze snapshots.
+	isolated int
+	// positions of the expensive metrics within dest, -1 if absent
+	// or computed synchronously this tick.
 	wccAt, sccAt int
 }
 
 // Async evaluates a Suite with the expensive extension metrics
-// computed on worker goroutines. Compute must be called from a single
-// goroutine (the monitoring pipeline's consumer); the returned
-// snapshots' expensive slots are filled in place as workers finish.
+// computed on worker goroutines. Compute, Wait and Close must be
+// called from a single goroutine (the monitoring pipeline's
+// consumer); the returned snapshots' expensive slots are filled in
+// place as workers finish.
 type Async struct {
 	suite   Suite
 	wccIdx  int // index of Components in the suite, -1 if absent
 	sccIdx  int
 	jobs    chan asyncJob
 	pending sync.WaitGroup
-	mu      sync.Mutex // guards memo
+	mu      sync.Mutex // guards memo and closed
 	memo    expensiveMemo
+	closed  bool
 	once    sync.Once
 }
 
@@ -74,7 +97,6 @@ func NewAsync(suite Suite, workers int) *Async {
 		// worker is busy and the backlog is full, which bounds the
 		// memory pinned by in-flight Structure snapshots.
 		jobs: make(chan asyncJob, 2*workers),
-		memo: expensiveMemo{carry: make(map[ID]float64)},
 	}
 	for i := 0; i < workers; i++ {
 		go a.worker()
@@ -91,6 +113,11 @@ func NewAsync(suite Suite, workers int) *Async {
 // is in flight the recorded Values array belongs jointly to the worker,
 // so the copy is taken before dispatch. When no job was dispatched the
 // recorded slice itself is returned (nothing will mutate it).
+//
+// Compute after Close degrades to a defined synchronous fallback: the
+// expensive slots are computed inline on the calling goroutine (the
+// graph's writer, per the single-goroutine contract) and the snapshot
+// is exact immediately. It never panics.
 func (a *Async) Compute(g *heapgraph.Graph, tick uint64) (Snapshot, []float64) {
 	snap := Snapshot{
 		Tick:     tick,
@@ -121,7 +148,15 @@ func (a *Async) Compute(g *heapgraph.Graph, tick uint64) (Snapshot, []float64) {
 			snap.Values[i] = pct(g.CountInEqOut())
 		}
 	}
-	if a.wccIdx < 0 && a.sccIdx < 0 {
+	incremental := g.Connectivity() != heapgraph.ConnectivitySnapshot
+	if a.wccIdx >= 0 && incremental {
+		// Fast path: the incremental tracker answers without freezing
+		// anything — exact, synchronous, costed by churn not size.
+		snap.Values[a.wccIdx] = pct(g.ConnectedComponentCount())
+	}
+	wccAsync := a.wccIdx >= 0 && !incremental
+	sccAsync := a.sccIdx >= 0
+	if !wccAsync && !sccAsync {
 		return snap, snap.Values
 	}
 
@@ -129,44 +164,79 @@ func (a *Async) Compute(g *heapgraph.Graph, tick uint64) (Snapshot, []float64) {
 	// they were computed: no snapshot, no walk, exact values now.
 	gen := g.Generation()
 	a.mu.Lock()
-	if a.memo.gen == gen && (a.wccIdx < 0 || a.memo.hasWCC) && (a.sccIdx < 0 || a.memo.hasSCC) {
-		if a.wccIdx >= 0 {
+	if a.memo.gen == gen && (!wccAsync || a.memo.hasWCC) && (!sccAsync || a.memo.hasSCC) {
+		if wccAsync {
 			snap.Values[a.wccIdx] = pct(a.memo.wcc.Count)
 		}
-		if a.sccIdx >= 0 {
+		if sccAsync {
 			snap.Values[a.sccIdx] = pct(a.memo.scc.Count)
 		}
 		a.mu.Unlock()
 		return snap, snap.Values
 	}
 	// Carry the newest completed values forward so the snapshot's
-	// expensive slots are always defined for immediate consumers
-	// (observers see a slightly stale but real value, never NaN).
-	for id, v := range a.memo.carry {
-		if idx := a.suite.Index(id); idx >= 0 {
-			snap.Values[idx] = v
-		}
+	// async slots are always defined for immediate consumers
+	// (observers see a slightly stale but real value, never NaN). The
+	// slots were resolved at construction; a metric the suite lacks
+	// has index -1 and no carry to leak.
+	if wccAsync && a.memo.hasWCC {
+		snap.Values[a.wccIdx] = a.memo.carryWCC
 	}
+	if sccAsync && a.memo.hasSCC {
+		snap.Values[a.sccIdx] = a.memo.carrySCC
+	}
+	closed := a.closed
 	a.mu.Unlock()
+
+	if closed {
+		// Post-Close fallback: the workers are gone and the jobs
+		// channel is closed; compute the expensive slots inline
+		// (generation-memoized, writer goroutine) instead of
+		// dispatching. Compute and Close share one goroutine, so
+		// `closed` cannot change between the check and here.
+		if wccAsync {
+			snap.Values[a.wccIdx] = pct(g.WeaklyConnectedComponentsCached().Count)
+		}
+		if sccAsync {
+			snap.Values[a.sccIdx] = pct(g.StronglyConnectedComponentsCached().Count)
+		}
+		return snap, snap.Values
+	}
+
+	job := asyncJob{
+		dest:     snap.Values,
+		tick:     tick,
+		vertices: n,
+		wccAt:    -1,
+		sccAt:    -1,
+	}
+	if wccAsync {
+		job.wccAt = a.wccIdx
+	}
+	if sccAsync {
+		job.sccAt = a.sccIdx
+	}
+	if job.wccAt < 0 && incremental {
+		// Only SCCs left, and the incremental weak partition already
+		// accounts for isolated vertices: freeze the reduced out-only
+		// structure Tarjan actually needs.
+		job.st, job.isolated = g.FreezeSCC()
+	} else {
+		job.st = g.Freeze()
+	}
 
 	// The copy for immediate consumers must precede the dispatch: the
 	// moment the job is on the channel, a worker may overwrite the
 	// recorded array's expensive slots.
 	observed := append([]float64(nil), snap.Values...)
 	a.pending.Add(1)
-	a.jobs <- asyncJob{
-		st:    g.Freeze(),
-		dest:  snap.Values,
-		tick:  tick,
-		wccAt: a.wccIdx,
-		sccAt: a.sccIdx,
-	}
+	a.jobs <- job
 	return snap, observed
 }
 
 func (a *Async) worker() {
 	for job := range a.jobs {
-		n := job.st.NumVertices()
+		n := job.vertices
 		var wcc, scc heapgraph.ComponentStats
 		var wccVal, sccVal float64
 		if job.wccAt >= 0 {
@@ -176,6 +246,10 @@ func (a *Async) worker() {
 		}
 		if job.sccAt >= 0 {
 			scc = job.st.StronglyConnectedComponents()
+			scc.Count += job.isolated
+			if job.isolated > 0 && scc.Largest < 1 {
+				scc.Largest = 1
+			}
 			sccVal = float64(scc.Count) / float64(n) * 100
 			job.dest[job.sccAt] = sccVal
 		}
@@ -187,11 +261,11 @@ func (a *Async) worker() {
 			a.memo.gen = job.st.Generation()
 			if job.wccAt >= 0 {
 				a.memo.wcc, a.memo.hasWCC = wcc, true
-				a.memo.carry[Components] = wccVal
+				a.memo.carryWCC = wccVal
 			}
 			if job.sccAt >= 0 {
 				a.memo.scc, a.memo.hasSCC = scc, true
-				a.memo.carry[SCCs] = sccVal
+				a.memo.carrySCC = sccVal
 			}
 		}
 		a.mu.Unlock()
@@ -204,11 +278,16 @@ func (a *Async) worker() {
 // Compute hold exact values.
 func (a *Async) Wait() { a.pending.Wait() }
 
-// Close waits for outstanding work and stops the workers. The
-// evaluator must not be used after Close.
+// Close waits for outstanding work and stops the workers. Compute
+// after Close falls back to synchronous inline evaluation (see
+// Compute); previously it panicked with a send on the closed jobs
+// channel.
 func (a *Async) Close() {
 	a.once.Do(func() {
 		a.pending.Wait()
+		a.mu.Lock()
+		a.closed = true
+		a.mu.Unlock()
 		close(a.jobs)
 	})
 }

@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"testing"
+
+	"heapmd/internal/heapgraph"
+)
+
+// buildChains grows a small graph with chains, a cycle and a deletion,
+// so every metric in the extended suite has a non-trivial value.
+func buildChains(g *heapgraph.Graph) {
+	next := heapgraph.VertexID(1)
+	for i := 0; i < 30; i++ {
+		g.AddVertex(next)
+		if next > 1 {
+			g.AddEdge(next-1, next)
+		}
+		next++
+	}
+	g.AddEdge(next-1, next-5)
+	g.RemoveVertex(next - 10)
+}
+
+// TestAsyncComputeAfterClose is the regression test for the
+// send-on-closed-channel panic: Compute after Close must degrade to
+// synchronous inline evaluation, never panic, and the snapshot must be
+// exact immediately (no job is in flight to fill it later).
+func TestAsyncComputeAfterClose(t *testing.T) {
+	suite := ExtendedSuite()
+	a := NewAsync(suite, 2)
+	g := heapgraph.New()
+	buildChains(g)
+	a.Compute(g, 1)
+	a.Close()
+	a.Close() // idempotent
+
+	// Mutate so neither the memo generation nor the graph cache can
+	// mask a missing computation.
+	g.AddVertex(1000)
+	g.AddEdge(1, 1000)
+	snap, observed := a.Compute(g, 2)
+	want := suite.Compute(g, 2)
+	for j := range want.Values {
+		if snap.Values[j] != want.Values[j] || observed[j] != want.Values[j] {
+			t.Fatalf("post-Close metric %s: got %v/%v, want %v",
+				suite.IDs()[j], snap.Values[j], observed[j], want.Values[j])
+		}
+	}
+	// Wait must also remain safe after Close.
+	a.Wait()
+}
+
+// TestAsyncCarrySlotsDoNotLeak pins the carry-slot fix: a suite that
+// lacks one expensive metric has no slot for the other's carry (or
+// memo) to leak into, and the present metric's values still converge
+// to the synchronous result.
+func TestAsyncCarrySlotsDoNotLeak(t *testing.T) {
+	suite := NewSuite(Roots, SCCs) // Components deliberately absent
+	a := NewAsync(suite, 2)
+	defer a.Close()
+	if a.wccIdx != -1 {
+		t.Fatalf("wccIdx = %d for a suite without Components", a.wccIdx)
+	}
+	g := heapgraph.New()
+	buildChains(g)
+	var snaps []Snapshot
+	for tick := uint64(1); tick <= 10; tick++ {
+		g.AddVertex(heapgraph.VertexID(2000 + tick))
+		snap, _ := a.Compute(g, tick)
+		snaps = append(snaps, snap)
+	}
+	a.Wait()
+	a.mu.Lock()
+	hasWCC := a.memo.hasWCC
+	a.mu.Unlock()
+	if hasWCC {
+		t.Fatal("memo recorded a WCC result for a suite without Components")
+	}
+	// Exactness after Wait: the final tick was computed on the final
+	// graph state, so synchronous evaluation reproduces it directly.
+	final := snaps[len(snaps)-1]
+	want := suite.Compute(g, final.Tick)
+	for j := range want.Values {
+		if final.Values[j] != want.Values[j] {
+			t.Fatalf("metric %s: got %v, want %v", suite.IDs()[j], final.Values[j], want.Values[j])
+		}
+	}
+}
+
+// TestAsyncIncrementalInlineWCC checks the incremental fast path: with
+// the graph in incremental connectivity mode, the Components slot is
+// exact synchronously — in both the recorded snapshot and the observed
+// copy — before any worker has run, and the final report still matches
+// synchronous evaluation.
+func TestAsyncIncrementalInlineWCC(t *testing.T) {
+	suite := ExtendedSuite()
+	a := NewAsync(suite, 2)
+	defer a.Close()
+	g := heapgraph.New()
+	g.SetConnectivity(heapgraph.ConnectivityIncremental, 0)
+	buildChains(g)
+
+	wccIdx := suite.Index(Components)
+	wantWCC := float64(g.WeaklyConnectedComponents().Count) / float64(g.NumVertices()) * 100
+	snap, observed := a.Compute(g, 1)
+	if snap.Values[wccIdx] != wantWCC || observed[wccIdx] != wantWCC {
+		t.Fatalf("incremental WCC slot = %v/%v before Wait, want %v",
+			snap.Values[wccIdx], observed[wccIdx], wantWCC)
+	}
+	a.Wait()
+	want := suite.Compute(g, 1)
+	for j := range want.Values {
+		if snap.Values[j] != want.Values[j] {
+			t.Fatalf("metric %s: async %v, sync %v", suite.IDs()[j], snap.Values[j], want.Values[j])
+		}
+	}
+}
+
+// TestAsyncIncrementalWCCOnlyNeverDispatches checks the no-freeze fast
+// path: a suite whose only expensive metric is Components, on an
+// incremental graph, computes everything inline — Compute returns the
+// recorded slice itself (the documented signal that no job went to the
+// workers).
+func TestAsyncIncrementalWCCOnlyNeverDispatches(t *testing.T) {
+	suite := NewSuite(Roots, Leaves, Components) // no SCCs
+	a := NewAsync(suite, 2)
+	defer a.Close()
+	g := heapgraph.New()
+	g.SetConnectivity(heapgraph.ConnectivityIncremental, 0)
+	buildChains(g)
+	snap, observed := a.Compute(g, 1)
+	if &snap.Values[0] != &observed[0] {
+		t.Fatal("WCC-only incremental Compute dispatched a job (observed copy was taken)")
+	}
+	want := suite.Compute(g, 1)
+	for j := range want.Values {
+		if snap.Values[j] != want.Values[j] {
+			t.Fatalf("metric %s: got %v, want %v", suite.IDs()[j], snap.Values[j], want.Values[j])
+		}
+	}
+}
+
+// TestAsyncSCCWithFreezeSCC checks that the reduced out-only freeze
+// (incremental mode, SCCs async) produces the same SCC percentages as
+// the full snapshot path, including on graphs with many isolated
+// vertices.
+func TestAsyncSCCWithFreezeSCC(t *testing.T) {
+	suite := ExtendedSuite()
+	a := NewAsync(suite, 2)
+	defer a.Close()
+	g := heapgraph.New()
+	g.SetConnectivity(heapgraph.ConnectivityIncremental, 0)
+	// A 3-cycle plus isolated vertices: FreezeSCC excludes the
+	// isolated ones and the worker must add them back.
+	for i := 1; i <= 20; i++ {
+		g.AddVertex(heapgraph.VertexID(i))
+	}
+	g.AddEdge(1, 2)
+	g.AddEdge(2, 3)
+	g.AddEdge(3, 1)
+	snap, _ := a.Compute(g, 1)
+	a.Wait()
+	want := suite.Compute(g, 1)
+	for j := range want.Values {
+		if snap.Values[j] != want.Values[j] {
+			t.Fatalf("metric %s: got %v, want %v", suite.IDs()[j], snap.Values[j], want.Values[j])
+		}
+	}
+}

@@ -184,11 +184,12 @@ func (s Suite) Compute(g *heapgraph.Graph, tick uint64) Snapshot {
 		case InEqOut:
 			snap.Values[i] = pct(g.CountInEqOut())
 		case Components:
-			// The cached accessors memoize by the graph's mutation
-			// generation, so consecutive samples over an unchanged
-			// graph skip the walk entirely (and both extension metrics
-			// at one tick share a single generation's computation).
-			snap.Values[i] = float64(g.WeaklyConnectedComponentsCached().Count) / float64(n) * 100
+			// ConnectedComponentCount dispatches on the graph's
+			// connectivity mode: the incremental union-find tracker,
+			// the generation-memoized snapshot walk (consecutive
+			// samples over an unchanged graph skip the walk entirely),
+			// or both with a divergence check in verify mode.
+			snap.Values[i] = float64(g.ConnectedComponentCount()) / float64(n) * 100
 		case SCCs:
 			snap.Values[i] = float64(g.StronglyConnectedComponentsCached().Count) / float64(n) * 100
 		}

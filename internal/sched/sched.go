@@ -37,6 +37,33 @@ func Workers(n int) int {
 	return n
 }
 
+// ParseParallel validates a -parallel flag value uniformly across
+// subcommands (train, check, replay, soak, experiments): 0 selects
+// GOMAXPROCS ("auto", every subcommand's default), positive values
+// are the exact worker count (1 = serial), and negative values are an
+// error. Historically each subcommand resolved the flag itself — 0
+// meant serial in one path, one worker in another and GOMAXPROCS in a
+// third, and negatives were silently clamped; the CLI now funnels
+// every occurrence of the flag through here.
+func ParseParallel(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("sched: -parallel must be >= 0 (0 = all cores), got %d", n)
+	}
+	return Workers(n), nil
+}
+
+// ParseMetricWorkers validates a -metric-workers flag value: 0 keeps
+// the expensive extension metrics inline at the metric computation
+// point, positive values run that many worker goroutines, and
+// negative values are an error (previously they were silently treated
+// as inline).
+func ParseMetricWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("sched: -metric-workers must be >= 0 (0 = inline), got %d", n)
+	}
+	return n, nil
+}
+
 // Map executes fn(0) .. fn(n-1) on up to workers goroutines and
 // returns the results in input order. workers <= 1 runs serially on
 // the calling goroutine. On failure Map returns the error of the

@@ -152,3 +152,35 @@ func TestSchedStressFailingFleet(t *testing.T) {
 		}
 	}
 }
+
+// TestParseParallel pins the normalized -parallel semantics shared by
+// every subcommand: 0 = all cores, positive = exact, negative = error.
+func TestParseParallel(t *testing.T) {
+	if got, err := ParseParallel(0); err != nil || got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("ParseParallel(0) = %d, %v", got, err)
+	}
+	if got, err := ParseParallel(1); err != nil || got != 1 {
+		t.Fatalf("ParseParallel(1) = %d, %v", got, err)
+	}
+	if got, err := ParseParallel(5); err != nil || got != 5 {
+		t.Fatalf("ParseParallel(5) = %d, %v", got, err)
+	}
+	if _, err := ParseParallel(-1); err == nil {
+		t.Fatal("ParseParallel(-1) did not error")
+	}
+}
+
+// TestParseMetricWorkers pins the normalized -metric-workers
+// semantics: 0 = inline, positive = workers, negative = error
+// (previously silently treated as inline).
+func TestParseMetricWorkers(t *testing.T) {
+	if got, err := ParseMetricWorkers(0); err != nil || got != 0 {
+		t.Fatalf("ParseMetricWorkers(0) = %d, %v", got, err)
+	}
+	if got, err := ParseMetricWorkers(4); err != nil || got != 4 {
+		t.Fatalf("ParseMetricWorkers(4) = %d, %v", got, err)
+	}
+	if _, err := ParseMetricWorkers(-2); err == nil {
+		t.Fatal("ParseMetricWorkers(-2) did not error")
+	}
+}

@@ -1,0 +1,65 @@
+package soak
+
+import (
+	"bytes"
+	"testing"
+
+	"heapmd/internal/faults"
+	"heapmd/internal/heapgraph"
+)
+
+// TestSoakConnectivityVerify drives the full warmup → fault → recovery
+// schedule with the extended suite in verify connectivity mode, at a
+// rebuild threshold of 1 (rebuild on every conservative delete) and 8
+// (amortized), over the two faults that stress the incremental
+// tracker hardest: frag-storm (detach-heavy churn) and
+// aba-dangling-rewire (wild rewiring). Verify mode panics on the
+// first divergence between the incremental count and the snapshot
+// walk, so completing the schedule IS the differential result.
+func TestSoakConnectivityVerify(t *testing.T) {
+	for _, th := range []int{1, 8} {
+		sb, err := Run(Options{
+			Seed:             1,
+			Faults:           []string{faults.FragStorm, faults.ABARewire},
+			Extended:         true,
+			Connectivity:     heapgraph.ConnectivityVerify,
+			RebuildThreshold: th,
+			Parallel:         -1,
+		})
+		if err != nil {
+			t.Fatalf("threshold %d: %v", th, err)
+		}
+		if len(sb.Cells) == 0 {
+			t.Fatalf("threshold %d: no cells ran", th)
+		}
+	}
+}
+
+// TestSoakConnectivityScoreboardEquivalence runs the same seeded cells
+// under snapshot and incremental connectivity and requires
+// byte-identical scoreboards: the metric path must not change a single
+// verdict, latency or counter.
+func TestSoakConnectivityScoreboardEquivalence(t *testing.T) {
+	run := func(mode heapgraph.ConnectivityMode) []byte {
+		sb, err := Run(Options{
+			Seed:         1,
+			Faults:       []string{faults.FragStorm, faults.ABARewire, faults.TypoLeak},
+			Extended:     true,
+			Connectivity: mode,
+			Parallel:     -1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		var buf bytes.Buffer
+		if err := sb.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	snap := run(heapgraph.ConnectivitySnapshot)
+	inc := run(heapgraph.ConnectivityIncremental)
+	if !bytes.Equal(snap, inc) {
+		t.Fatalf("scoreboards differ between connectivity modes:\nsnapshot:    %s\nincremental: %s", snap, inc)
+	}
+}

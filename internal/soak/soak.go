@@ -33,7 +33,9 @@ import (
 
 	"heapmd/internal/detect"
 	"heapmd/internal/faults"
+	"heapmd/internal/heapgraph"
 	"heapmd/internal/logger"
+	"heapmd/internal/metrics"
 	"heapmd/internal/model"
 	"heapmd/internal/prog"
 	"heapmd/internal/sched"
@@ -76,6 +78,19 @@ type Options struct {
 	// Thresholds are the model-construction thresholds; the zero
 	// value means model.Defaults().
 	Thresholds model.Thresholds
+	// Extended soaks (and trains) with the extended metric suite —
+	// the degree metrics plus the WCC/SCC structure metrics. Required
+	// for the Connectivity setting to be observable: only the
+	// Components metric consults the connectivity path.
+	Extended bool
+	// Connectivity selects how the Components metric obtains the
+	// weak component count in every iteration's logger (and during
+	// training, so models and soak runs see the same path); see
+	// heapgraph.ConnectivityMode. Zero value is the snapshot walk.
+	Connectivity heapgraph.ConnectivityMode
+	// RebuildThreshold is the incremental tracker's delete budget
+	// between amortized re-unions; 0 selects the default.
+	RebuildThreshold int
 	// Progress, when set, receives one line per completed cell.
 	Progress io.Writer
 }
@@ -151,7 +166,7 @@ func Run(opts Options) (*Scoreboard, error) {
 		if err != nil {
 			return nil, err
 		}
-		reps, err := workloads.Train(w, opts.TrainInputs, workloads.RunConfig{})
+		reps, err := workloads.Train(w, opts.TrainInputs, workloads.RunConfig{Logger: r.loggerOptions()})
 		if err != nil {
 			return nil, fmt.Errorf("soak: training %s: %w", wl[i], err)
 		}
@@ -223,12 +238,27 @@ func (r *runner) signal(f *detect.Finding) bool {
 	}
 }
 
+// loggerOptions builds the logger configuration shared by training
+// runs and soak iterations: suite and connectivity must match so the
+// calibrated model and the soaked runs measure the same thing.
+func (r *runner) loggerOptions() logger.Options {
+	opts := logger.Options{
+		Frequency:        workloads.DefaultFrequency,
+		Connectivity:     r.opts.Connectivity,
+		RebuildThreshold: r.opts.RebuildThreshold,
+	}
+	if r.opts.Extended {
+		opts.Suite = metrics.ExtendedSuite()
+	}
+	return opts
+}
+
 // iteration executes one complete workload run through the concurrent
 // pipeline. The returned bool reports whether the workload crashed on
 // a simulator fault (the report then covers the prefix).
 func (r *runner) iteration(w workloads.Workload, in workloads.Input, plan *faults.Plan) (*logger.Report, bool, error) {
 	p := prog.NewProcess(prog.Options{Seed: in.Seed, Plan: plan})
-	l := logger.New(logger.Options{Frequency: workloads.DefaultFrequency})
+	l := logger.New(r.loggerOptions())
 	l.SetRun(w.Name(), in.Name, 1)
 	pipe := logger.NewPipeline(l, logger.PipelineOptions{
 		Policy:     r.opts.Policy,

@@ -1,0 +1,100 @@
+package workloads
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"heapmd/internal/detect"
+	"heapmd/internal/faults"
+	"heapmd/internal/heapgraph"
+	"heapmd/internal/logger"
+	"heapmd/internal/metrics"
+	"heapmd/internal/model"
+)
+
+// runWithConnectivity executes one logged run with the extended suite
+// under the given connectivity mode.
+func runWithConnectivity(t *testing.T, w Workload, in Input, mode heapgraph.ConnectivityMode, plan *faults.Plan) *logger.Report {
+	t.Helper()
+	rep, _, err := RunLogged(w, in, RunConfig{
+		Plan: plan,
+		Logger: logger.Options{
+			Suite:        metrics.ExtendedSuite(),
+			Connectivity: mode,
+		},
+	})
+	if err != nil {
+		t.Fatalf("%s/%s: %v", w.Name(), mode, err)
+	}
+	return rep
+}
+
+// TestConnectivityModesByteIdenticalReports is the PR's differential
+// acceptance test: every workload, run with the extended suite under
+// snapshot, incremental and verify connectivity, must produce
+// byte-identical reports. Verify mode additionally panics mid-run on
+// any divergence, so this doubles as an oracle sweep over all 13
+// workloads' allocation patterns.
+func TestConnectivityModesByteIdenticalReports(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			in := w.Inputs(1)[0]
+			base := runWithConnectivity(t, w, in, heapgraph.ConnectivitySnapshot, nil)
+			baseJSON, err := json.Marshal(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []heapgraph.ConnectivityMode{
+				heapgraph.ConnectivityIncremental,
+				heapgraph.ConnectivityVerify,
+			} {
+				rep := runWithConnectivity(t, w, in, mode, nil)
+				repJSON, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(baseJSON, repJSON) {
+					t.Fatalf("%s report differs from snapshot mode:\nsnapshot:    %s\n%-11s: %s",
+						mode, baseJSON, mode, repJSON)
+				}
+			}
+		})
+	}
+}
+
+// TestConnectivityModesIdenticalFindings closes the loop through the
+// detector: a model trained on snapshot-mode reports must yield
+// identical findings when checking faulty runs executed under each
+// connectivity mode.
+func TestConnectivityModesIdenticalFindings(t *testing.T) {
+	w, _ := Get("webapp")
+	cfg := RunConfig{Logger: logger.Options{Suite: metrics.ExtendedSuite()}}
+	training, err := Train(w, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := model.Build(training, model.Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := w.Inputs(2)[1]
+	plan := func() *faults.Plan { return faults.NewPlan().EnableAlways(faults.TypoLeak) }
+	base := runWithConnectivity(t, w, in, heapgraph.ConnectivitySnapshot, plan())
+	baseFindings := detect.CheckReport(built.Model, base, detect.Options{})
+	for _, mode := range []heapgraph.ConnectivityMode{
+		heapgraph.ConnectivityIncremental,
+		heapgraph.ConnectivityVerify,
+	} {
+		rep := runWithConnectivity(t, w, in, mode, plan())
+		findings := detect.CheckReport(built.Model, rep, detect.Options{})
+		if !reflect.DeepEqual(baseFindings, findings) {
+			t.Fatalf("%s findings differ from snapshot mode:\nsnapshot: %v\n%s: %v",
+				mode, baseFindings, mode, findings)
+		}
+	}
+}
