@@ -549,6 +549,17 @@ func BenchmarkReplayThroughput(b *testing.B) {
 			_, _, err := trace.Replay(bytes.NewReader(data), l)
 			return err
 		}},
+		// The decode pipeline at this machine's recommended worker
+		// count (synchronous on a single core — these rows then match
+		// the plain batched rows; ≥ 2 workers elsewhere).
+		{"batched-parallel-v3", "v3", func(l *logger.Logger, data []byte) error {
+			_, _, err := trace.ReplayWith(bytes.NewReader(data), l, trace.ReadOptions{DecodeWorkers: trace.DefaultDecodeWorkers()})
+			return err
+		}},
+		{"batched-parallel-v3-flate", "v3-flate", func(l *logger.Logger, data []byte) error {
+			_, _, err := trace.ReplayWith(bytes.NewReader(data), l, trace.ReadOptions{DecodeWorkers: trace.DefaultDecodeWorkers()})
+			return err
+		}},
 	}
 	for _, v := range variants {
 		data := traces[v.format]

@@ -44,7 +44,8 @@ func cmdReplay(args []string) error {
 	modelPath := fs.String("model", "", "optional model file: check each replayed report against it")
 	salvage := fs.Bool("salvage", false, "recover the longest valid prefix of a damaged trace")
 	pipelined := fs.Bool("pipelined", false, "decode and apply the trace on separate goroutines (identical report, better throughput)")
-	readAhead := fs.Bool("readahead", heapmd.DefaultReadAhead(), "decode and CRC-check the next frame while the current one is applied (identical report; defaults on with >1 CPU, off single-core where the extra goroutine costs throughput)")
+	decodeWorkersFlag := fs.Int("decode-workers", 0, "frame decode workers per trace: 0 = auto (all cores; synchronous on a single core), 1 = read-ahead, n = scanner + n-worker pipeline (identical report at any setting)")
+	readAhead := fs.Bool("readahead", heapmd.DefaultReadAhead(), "deprecated alias for -decode-workers=1 (or 0 when false); ignored when -decode-workers is set")
 	workers := fs.Int("metric-workers", 0, "compute expensive extension metrics on this many workers (0 = inline)")
 	extended := fs.Bool("extended", false, "compute the extended metric suite (adds WCC/SCC structure metrics)")
 	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
@@ -95,6 +96,29 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	decodeWorkers, err := sched.ParseDecodeWorkers(*decodeWorkersFlag)
+	if err != nil {
+		return err
+	}
+	// -readahead is a deprecation alias: honored only when the user set
+	// it explicitly and left -decode-workers at its default.
+	var readAheadSet, decodeWorkersSet bool
+	fs.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "readahead":
+			readAheadSet = true
+		case "decode-workers":
+			decodeWorkersSet = true
+		}
+	})
+	if readAheadSet && !decodeWorkersSet {
+		fmt.Fprintln(os.Stderr, "replay: -readahead is deprecated; use -decode-workers (1 = read-ahead, 0 = auto)")
+		if *readAhead {
+			decodeWorkers = 1
+		} else {
+			decodeWorkers = -1 // explicit -readahead=false: force synchronous
+		}
+	}
 	conn, err := heapmd.ParseConnectivity(*connectivity)
 	if err != nil {
 		return err
@@ -108,7 +132,7 @@ func cmdReplay(args []string) error {
 			Frequency:     *freq,
 			Salvage:       *salvage,
 			Pipelined:     *pipelined,
-			ReadAhead:     *readAhead,
+			DecodeWorkers: decodeWorkers,
 			MetricWorkers: metricWorkers,
 			Suite:         suite,
 			Connectivity:  conn,
@@ -278,6 +302,13 @@ func replayOne(path string, cfg replayConfig) (*replayOut, error) {
 				st.CompressionRatio(), st.CompressedFrames, st.EventFrames)
 		}
 		b.WriteByte('\n')
+	}
+	if st.DecodeWorkers >= 2 {
+		// Stall counters locate the pipeline bottleneck: scanner stalls
+		// mean decode or the sink is behind; resequencer stalls mean
+		// worker skew is gating in-order delivery.
+		fmt.Fprintf(&b, "decode pipeline: %d workers, %d scanner stalls, %d resequencer stalls\n",
+			st.DecodeWorkers, st.ScannerStalls, st.ResequencerStalls)
 	}
 	if info.Salvaged() {
 		fmt.Fprintf(&b, "salvage: %s\n", info)

@@ -387,7 +387,15 @@ func LoadModel(r io.Reader) (*Model, error) { return model.Load(r) }
 // DefaultReadAhead reports whether replay read-ahead (decoding the
 // next trace frame on a dedicated goroutine) is expected to pay off
 // on this machine; see trace.DefaultReadAhead for the heuristic.
+//
+// Deprecated: read-ahead is the DecodeWorkers=1 case of the decode
+// pipeline; use DefaultDecodeWorkers.
 func DefaultReadAhead() bool { return trace.DefaultReadAhead() }
+
+// DefaultDecodeWorkers returns the decode-worker count replay should
+// use on this machine: all cores on a multi-core machine, 0
+// (synchronous) on a single core; see trace.DefaultDecodeWorkers.
+func DefaultDecodeWorkers() int { return trace.DefaultDecodeWorkers() }
 
 // TraceOptions configure RecordTraceWith.
 type TraceOptions struct {
@@ -397,6 +405,12 @@ type TraceOptions struct {
 	// Compress flate-compresses v3 event frames when that makes them
 	// smaller; replay output is identical. Only valid with v3.
 	Compress bool
+	// Workers encodes (and, with Compress, flate-compresses) sealed
+	// v3 frames on a pool of that many goroutines instead of the
+	// emitting goroutine, with a single ordered writer performing the
+	// I/O. The trace bytes are identical at any worker count. Zero
+	// means synchronous. Only valid with v3.
+	Workers int
 }
 
 // RecordTrace attaches a trace writer to a run so its event stream
@@ -414,7 +428,7 @@ func RecordTrace(r *Run, w io.Writer) (func() error, error) {
 // RecordTraceWith is RecordTrace with format control; the zero
 // options record columnar v3, uncompressed.
 func RecordTraceWith(r *Run, w io.Writer, opts TraceOptions) (func() error, error) {
-	tw, err := trace.NewWriterWith(w, trace.WriterOptions{Version: opts.Version, Compress: opts.Compress})
+	tw, err := trace.NewWriterWith(w, trace.WriterOptions{Version: opts.Version, Compress: opts.Compress, Workers: opts.Workers})
 	if err != nil {
 		return nil, err
 	}
@@ -445,11 +459,20 @@ type ReplayOptions struct {
 	// Suite selects the metric suite for the replay; zero value
 	// means the default seven-metric suite.
 	Suite metrics.Suite
+	// DecodeWorkers selects the trace decode pipeline: 0 decodes
+	// synchronously, 1 CRC-checks and decodes the next frame on one
+	// read-ahead goroutine, and n ≥ 2 runs a framing scanner plus n
+	// decode workers with ordered delivery. The report is identical at
+	// any setting; negative values force synchronous decode even when
+	// ReadAhead is set. DefaultDecodeWorkers returns this machine's
+	// recommended value. See trace.ReadOptions.DecodeWorkers.
+	DecodeWorkers int
 	// ReadAhead CRC-checks and decodes the next trace frame on a
 	// dedicated goroutine while the logger consumes the current one;
 	// see trace.ReadOptions. The report is identical either way.
-	// trace.DefaultReadAhead reports whether it pays off on this
-	// machine.
+	//
+	// Deprecated: equivalent to DecodeWorkers=1, which wins when both
+	// are set.
 	ReadAhead bool
 	// Stats, when non-nil, is filled with storage accounting for the
 	// replayed trace: format version, bytes per event, compression
@@ -501,7 +524,7 @@ func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions
 		info *SalvageInfo
 		err  error
 	)
-	ropts := trace.ReadOptions{ReadAhead: opts.ReadAhead, Stats: opts.Stats}
+	ropts := trace.ReadOptions{DecodeWorkers: opts.DecodeWorkers, ReadAhead: opts.ReadAhead, Stats: opts.Stats}
 	if opts.Salvage {
 		sym, info, err = trace.SalvageWith(rd, sink, ropts)
 	} else {

@@ -64,6 +64,39 @@ func ParseMetricWorkers(n int) (int, error) {
 	return n, nil
 }
 
+// ParseDecodeWorkers validates a -decode-workers flag value and
+// resolves it to a trace.ReadOptions.DecodeWorkers setting: 0 selects
+// the machine default — all cores on a multi-core machine, the
+// synchronous decoder on a single core, where extra goroutines only
+// add handoff cost (the old always-on -readahead default was a
+// measured regression there). Positive values are exact: 1 is the
+// fused read-ahead pipeline, n ≥ 2 a scanner plus n decode workers.
+// Negative values are an error.
+func ParseDecodeWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("sched: -decode-workers must be >= 0 (0 = auto), got %d", n)
+	}
+	if n == 0 {
+		if p := runtime.GOMAXPROCS(0); p > 1 {
+			return p, nil
+		}
+		return 0, nil
+	}
+	return n, nil
+}
+
+// ParseEncodeWorkers validates a -trace-workers flag value: 0 encodes
+// recorded trace frames synchronously on the emitting goroutine (the
+// default — recording is rarely the bottleneck), positive values run
+// that many encode workers per writer, and negative values are an
+// error.
+func ParseEncodeWorkers(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("sched: -trace-workers must be >= 0 (0 = synchronous), got %d", n)
+	}
+	return n, nil
+}
+
 // Map executes fn(0) .. fn(n-1) on up to workers goroutines and
 // returns the results in input order. workers <= 1 runs serially on
 // the calling goroutine. On failure Map returns the error of the

@@ -182,6 +182,10 @@ func TestReplayFrameDecodeAllocs(t *testing.T) {
 			// allocate a sudog per park; allow a few allocs of noise but
 			// nothing near one per frame (126 extra frames).
 			{"readahead", ReadOptions{ReadAhead: true}, 8},
+			// The decode pipeline allocates its channels, ring, and
+			// per-worker decoder state once per replay — O(workers), not
+			// O(frames). Parking on channels adds runtime noise.
+			{"pipeline-3", ReadOptions{DecodeWorkers: 3}, 24},
 		} {
 			aSmall, aLarge := measure(small, tc.opts), measure(large, tc.opts)
 			if aLarge > aSmall+tc.slack+w.slack {

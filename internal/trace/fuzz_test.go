@@ -73,17 +73,35 @@ func fuzzSeeds(f *testing.F) {
 			f.Fatal(err)
 		}
 	}
+	// Many tiny frames: more frames than the decode pipeline's buffer
+	// window at the fuzzed worker count, so the resequencer's ring
+	// wraps and out-of-order completions actually occur.
+	var v3many bytes.Buffer
+	wm, err := NewWriterWith(&v3many, WriterOptions{Version: VersionV3})
+	if err != nil {
+		f.Fatal(err)
+	}
+	wm.SetSymtab(sym)
+	for _, e := range evs {
+		wm.Emit(e)
+		wm.Flush()
+	}
+	if err := wm.Close(sym); err != nil {
+		f.Fatal(err)
+	}
 	f.Add(v2.Bytes())
 	f.Add(v1.Bytes())
+	f.Add(v3many.Bytes())
+	f.Add(v3many.Bytes()[:v3many.Len()-13])
 	f.Add(v3.Bytes())
 	f.Add(v3z.Bytes())
-	f.Add(v3.Bytes()[:v3.Len()*2/3])   // truncated v3
-	f.Add(v3z.Bytes()[:v3z.Len()/2])   // truncated compressed v3
+	f.Add(v3.Bytes()[:v3.Len()*2/3])          // truncated v3
+	f.Add(v3z.Bytes()[:v3z.Len()/2])          // truncated compressed v3
 	f.Add(append([]byte("HMDT"), 3, 0, 0, 0)) // bare v3 header
-	f.Add(v2.Bytes()[:v2.Len()/2])     // truncated v2
-	f.Add(v1.Bytes()[:v1.Len()-25])    // v1 missing trailer
-	f.Add(v1.Bytes()[:11])             // mid-record v1
-	f.Add([]byte("HMDT"))              // header alone, short
+	f.Add(v2.Bytes()[:v2.Len()/2])            // truncated v2
+	f.Add(v1.Bytes()[:v1.Len()-25])           // v1 missing trailer
+	f.Add(v1.Bytes()[:11])                    // mid-record v1
+	f.Add([]byte("HMDT"))                     // header alone, short
 	f.Add(append([]byte("HMDT"), 2, 0, 0, 0)) // bare v2 header
 	f.Add(append([]byte("HMDT"), 1, 0, 0, 0)) // bare v1 header
 	f.Add([]byte("not a trace at all, definitely longer than a header"))
@@ -113,6 +131,23 @@ func FuzzReplay(f *testing.F) {
 		}
 		if c.Total != n {
 			t.Fatalf("replay count %d != delivered events %d", n, c.Total)
+		}
+	})
+}
+
+// FuzzReplayParallel is the pipeline's differential fuzzer: for
+// arbitrary bytes, the parallel decoder (scanner + 3 workers +
+// resequencer) must match the serial decoder outcome-for-outcome, in
+// both strict and salvage modes.
+func FuzzReplayParallel(f *testing.F) {
+	fuzzSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, salvage := range []bool{false, true} {
+			serial := runReplay(t, data, salvage, 0)
+			parallel := runReplay(t, data, salvage, 3)
+			if d := diffOutcome(serial, parallel); d != "" {
+				t.Fatalf("salvage=%v: parallel decode diverges from serial: %s", salvage, d)
+			}
 		}
 	})
 }

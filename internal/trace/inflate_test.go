@@ -1,0 +1,281 @@
+package trace
+
+import (
+	"bytes"
+	"compress/flate"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// inflateStdlib is the reference decoder: the stdlib flate reader
+// with the codec's output bound. Returns the decoded bytes, or an
+// error when the stream is malformed, truncated, or inflates past
+// max. (The pre-PR8 codec wrapper used io.ReadFull, which conflated
+// the decompressor's own io.ErrUnexpectedEOF — a truncated stream —
+// with a stream that simply produced fewer than max bytes, silently
+// accepting truncated input; the custom inflater follows the actual
+// stdlib semantics and rejects it.)
+func inflateStdlib(body []byte, max int) ([]byte, error) {
+	fr := flate.NewReader(bytes.NewReader(body))
+	dst := make([]byte, 0, max)
+	buf := make([]byte, 4096)
+	for {
+		n, err := fr.Read(buf)
+		if len(dst)+n > max {
+			return nil, errOversizedFrame
+		}
+		dst = append(dst, buf[:n]...)
+		if err == io.EOF {
+			return dst, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// inflateCustom runs the package inflater with the same contract.
+func inflateCustom(body []byte, max int) ([]byte, error) {
+	var c flateCodec
+	return c.Decompress(nil, body, max)
+}
+
+// deflateLevel compresses payload at the given stdlib level.
+func deflateLevel(t testing.TB, payload []byte, level int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		t.Fatalf("flate.NewWriter(level %d): %v", level, err)
+	}
+	if _, err := fw.Write(payload); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// inflatePayloads builds a spread of payload shapes: empty, tiny,
+// runny (RLE-like matches, distance 1), random (mostly literals),
+// columnar-like (what v3 frames actually contain), and long repeats
+// at varied distances (exercises overlapping and far copies).
+func inflatePayloads(t testing.TB) map[string][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(42))
+	random := make([]byte, 1<<16)
+	rng.Read(random)
+	runny := make([]byte, 1<<16)
+	for i := range runny {
+		runny[i] = byte(i / 997)
+	}
+	periodic := make([]byte, 1<<16)
+	for i := range periodic {
+		periodic[i] = byte(i % 313)
+	}
+	evs := v3TestEvents(4096)
+	columnar := encodeColumns(nil, evs)
+	mixed := make([]byte, 0, 1<<15)
+	for len(mixed) < 1<<15 {
+		n := 1 + rng.Intn(64)
+		if rng.Intn(2) == 0 {
+			b := byte(rng.Intn(256))
+			for i := 0; i < n; i++ {
+				mixed = append(mixed, b)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				mixed = append(mixed, byte(rng.Intn(256)))
+			}
+		}
+	}
+	return map[string][]byte{
+		"empty":    {},
+		"one":      {0x5a},
+		"tiny":     []byte("abcabcabcabc"),
+		"random":   random,
+		"runny":    runny,
+		"periodic": periodic,
+		"columnar": columnar,
+		"mixed":    mixed,
+	}
+}
+
+// TestInflateDifferential round-trips every payload shape through
+// every stdlib compression level and demands byte-identical output
+// from the custom inflater, at a loose bound, an exact-size bound,
+// and a too-small bound (which must yield errOversizedFrame).
+func TestInflateDifferential(t *testing.T) {
+	levels := []int{flate.NoCompression, flate.BestSpeed, 6, flate.BestCompression, flate.HuffmanOnly}
+	for name, payload := range inflatePayloads(t) {
+		for _, level := range levels {
+			body := deflateLevel(t, payload, level)
+			max := len(payload) + 64
+			want, wantErr := inflateStdlib(body, max)
+			got, gotErr := inflateCustom(body, max)
+			if wantErr != nil || gotErr != nil {
+				t.Fatalf("%s/level %d: clean stream rejected: stdlib err %v, custom err %v", name, level, wantErr, gotErr)
+			}
+			if !bytes.Equal(want, got) {
+				t.Fatalf("%s/level %d: output mismatch: stdlib %d bytes, custom %d bytes", name, level, len(want), len(got))
+			}
+			if !bytes.Equal(got, payload) {
+				t.Fatalf("%s/level %d: round-trip mismatch", name, level)
+			}
+			// Exact bound: produces exactly len(payload) bytes, no more.
+			if got, err := inflateCustom(body, len(payload)); err != nil {
+				t.Fatalf("%s/level %d: exact-size bound failed: %v", name, level, err)
+			} else if !bytes.Equal(got, payload) {
+				t.Fatalf("%s/level %d: exact-size output mismatch", name, level)
+			}
+			// Undersized bound: the oversize guard must fire, as it does
+			// on the stdlib path.
+			if len(payload) > 0 {
+				if _, err := inflateCustom(body, len(payload)-1); err != errOversizedFrame {
+					t.Fatalf("%s/level %d: undersized bound: got err %v, want errOversizedFrame", name, level, err)
+				}
+				if _, err := inflateStdlib(body, len(payload)-1); err != errOversizedFrame {
+					t.Fatalf("%s/level %d: stdlib undersized bound: got err %v", name, level, err)
+				}
+			}
+		}
+	}
+}
+
+// TestInflateReuse decodes many streams through one codec instance in
+// varied order — reused tables and scratch must not leak state between
+// streams.
+func TestInflateReuse(t *testing.T) {
+	var c flateCodec
+	payloads := inflatePayloads(t)
+	names := make([]string, 0, len(payloads))
+	for name := range payloads {
+		names = append(names, name)
+	}
+	rng := rand.New(rand.NewSource(7))
+	var dst []byte
+	for i := 0; i < 64; i++ {
+		name := names[rng.Intn(len(names))]
+		payload := payloads[name]
+		level := []int{flate.NoCompression, flate.BestSpeed, 6, flate.HuffmanOnly}[rng.Intn(4)]
+		body := deflateLevel(t, payload, level)
+		got, err := c.Decompress(dst, body, len(payload)+64)
+		if err != nil {
+			t.Fatalf("iter %d (%s, level %d): %v", i, name, level, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("iter %d (%s, level %d): output mismatch", i, name, level)
+		}
+		dst = got[:0]
+	}
+}
+
+// TestInflateTruncation cuts a valid stream at every byte offset; the
+// custom decoder must reject every cut the stdlib rejects and may
+// never succeed with different bytes. (A truncated DEFLATE stream can
+// still be "complete" if the cut lands after the final block's EOB —
+// both decoders must then agree on the output.)
+func TestInflateTruncation(t *testing.T) {
+	payloads := inflatePayloads(t)
+	for _, name := range []string{"tiny", "columnar", "mixed"} {
+		payload := payloads[name]
+		for _, level := range []int{flate.NoCompression, flate.BestSpeed, 6} {
+			body := deflateLevel(t, payload, level)
+			max := len(payload) + 64
+			for cut := 0; cut < len(body); cut++ {
+				want, wantErr := inflateStdlib(body[:cut], max)
+				got, gotErr := inflateCustom(body[:cut], max)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("%s/level %d cut %d: stdlib err %v, custom err %v", name, level, cut, wantErr, gotErr)
+				}
+				if wantErr == nil && !bytes.Equal(want, got) {
+					t.Fatalf("%s/level %d cut %d: output mismatch on accepted truncation", name, level, cut)
+				}
+			}
+		}
+	}
+}
+
+// TestInflateBitFlips flips every bit of a small stream and checks
+// accept/reject + output agreement with the stdlib. Most flips are
+// caught as corruption; some yield a different valid stream — then
+// both decoders must produce identical bytes.
+func TestInflateBitFlips(t *testing.T) {
+	payload := []byte("the quick brown fox jumps over the lazy dog, twice over: the quick brown fox")
+	for _, level := range []int{flate.NoCompression, flate.BestSpeed, 6} {
+		body := deflateLevel(t, payload, level)
+		max := len(payload) + 64
+		for i := 0; i < len(body)*8; i++ {
+			mut := bytes.Clone(body)
+			mut[i/8] ^= 1 << (i % 8)
+			want, wantErr := inflateStdlib(mut, max)
+			got, gotErr := inflateCustom(mut, max)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("level %d bit %d: stdlib err %v, custom err %v", level, i, wantErr, gotErr)
+			}
+			if wantErr == nil && !bytes.Equal(want, got) {
+				t.Fatalf("level %d bit %d: output mismatch", level, i)
+			}
+		}
+	}
+}
+
+// TestInflateTrailingGarbage: bytes after the final block are ignored
+// by the stdlib reader and must be ignored here too (the frame body
+// length is authoritative on this format, but the decoders must still
+// agree).
+func TestInflateTrailingGarbage(t *testing.T) {
+	payload := []byte("hello hello hello hello")
+	body := deflateLevel(t, payload, flate.BestSpeed)
+	body = append(body, 0xde, 0xad, 0xbe, 0xef)
+	got, err := inflateCustom(body, len(payload)+16)
+	if err != nil {
+		t.Fatalf("trailing garbage rejected: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("output mismatch with trailing garbage")
+	}
+}
+
+// TestInflateRawRejected feeds raw (uncompressed) columnar bytes to
+// the inflater — the exact shape of the "bad compressed body"
+// structural corruption case in v3_test.go: a frame whose flags byte
+// lies about the codec. It must not decode cleanly to the same bytes
+// as the stdlib rejects.
+func TestInflateRawRejected(t *testing.T) {
+	body := encodeColumns(nil, v3TestEvents(512))
+	max := len(body) + 64
+	_, wantErr := inflateStdlib(body, max)
+	_, gotErr := inflateCustom(body, max)
+	if (wantErr == nil) != (gotErr == nil) {
+		t.Fatalf("raw columnar body: stdlib err %v, custom err %v", wantErr, gotErr)
+	}
+}
+
+// FuzzInflate drives arbitrary bytes through both decoders and
+// requires them to agree on accept/reject and on every output byte.
+func FuzzInflate(f *testing.F) {
+	payloads := inflatePayloads(f)
+	for _, name := range []string{"tiny", "columnar"} {
+		for _, level := range []int{flate.NoCompression, flate.BestSpeed, 6, flate.HuffmanOnly} {
+			f.Add(deflateLevel(f, payloads[name], level))
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0x00, 0xff, 0xff}) // stored, n=0, final
+	f.Add([]byte{0x03, 0x00})                   // fixed, EOB only
+	f.Add([]byte{0xed, 0xfd, 0x01})             // dynamic header fragment
+	f.Fuzz(func(t *testing.T, body []byte) {
+		const max = 1 << 17
+		want, wantErr := inflateStdlib(body, max)
+		got, gotErr := inflateCustom(body, max)
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("accept/reject mismatch: stdlib err %v, custom err %v", wantErr, gotErr)
+		}
+		if wantErr == nil && !bytes.Equal(want, got) {
+			t.Fatalf("output mismatch: stdlib %d bytes, custom %d bytes", len(want), len(got))
+		}
+	})
+}

@@ -165,6 +165,8 @@ type Writer struct {
 	cdc     codec        // v3: nil = never compress
 	frames  int          // event frames since the last symtab checkpoint
 	sym     *event.Symtab
+	pl      *encodePipeline // non-nil: v3 batches encode on a worker pool
+	pevs    *event.Batch    // pipelined path's pending batch (from pl's pool)
 	// hdr is the frame-header scratch. A local array would be moved to
 	// the heap on every writeFrame call (bufio may hand the slice to
 	// the underlying io.Writer, so it escapes); keeping it on the
@@ -184,6 +186,12 @@ type WriterOptions struct {
 	// frame is stored compressed only when that is actually smaller,
 	// and replay output is identical either way. Only valid with v3.
 	Compress bool
+	// Workers moves v3 frame encoding (columnar encode + flate) off
+	// the Emit path onto a pool of that many goroutines, with a single
+	// ordered writer performing all I/O. Output is byte-identical to
+	// the synchronous writer at any worker count. Zero means
+	// synchronous; negative is treated as zero. Only valid with v3.
+	Workers int
 }
 
 // NewWriter writes the v2 header and returns a Writer.
@@ -204,6 +212,9 @@ func NewWriterWith(w io.Writer, opts WriterOptions) (*Writer, error) {
 	if opts.Compress && v != VersionV3 {
 		return nil, errors.New("trace: compression requires format v3")
 	}
+	if opts.Workers > 0 && v != VersionV3 {
+		return nil, errors.New("trace: encode workers require format v3")
+	}
 	bw := bufio.NewWriterSize(w, 1<<16)
 	if err := writeHeader(bw, v); err != nil {
 		return nil, err
@@ -214,6 +225,10 @@ func NewWriterWith(w io.Writer, opts WriterOptions) (*Writer, error) {
 	}
 	if opts.Compress {
 		tw.cdc = &flateCodec{}
+	}
+	if opts.Workers > 0 {
+		tw.pl = newEncodePipeline(bw, opts.Compress, opts.Workers)
+		tw.pevs = <-tw.pl.freeBatch
 	}
 	return tw, nil
 }
@@ -243,6 +258,14 @@ func (tw *Writer) Emit(e event.Event) {
 		return
 	}
 	if tw.version == VersionV3 {
+		if tw.pl != nil {
+			tw.pevs.Append(e)
+			tw.n++
+			if tw.pevs.Len() >= DefaultBatchRecords {
+				tw.flushBatch()
+			}
+			return
+		}
 		tw.evs.Append(e)
 		tw.n++
 		if tw.evs.Len() >= DefaultBatchRecords {
@@ -272,6 +295,11 @@ func (tw *Writer) flushBatch() {
 		return
 	}
 	switch {
+	case tw.pl != nil:
+		if tw.pevs.Len() == 0 {
+			return
+		}
+		tw.pevs = tw.pl.submitEvents(tw.pevs)
 	case tw.version == VersionV3 && tw.evs.Len() > 0:
 		payload := tw.encodeEventsV3()
 		if tw.err != nil {
@@ -287,7 +315,12 @@ func (tw *Writer) flushBatch() {
 	}
 	tw.frames++
 	if tw.sym != nil && tw.frames >= DefaultCheckpointFrames {
-		tw.writeFrame(frameSymtab, encodeSymtab(tw.sym))
+		payload := encodeSymtab(tw.sym)
+		if tw.pl != nil {
+			tw.pl.submitFrame(frameSymtab, payload)
+		} else {
+			tw.writeFrame(frameSymtab, payload)
+		}
 		tw.frames = 0
 	}
 }
@@ -344,6 +377,12 @@ func (tw *Writer) Events() uint64 { return tw.n }
 // Writer remains usable.
 func (tw *Writer) Flush() error {
 	tw.flushBatch()
+	if tw.pl != nil {
+		if err := tw.pl.flush(); err != nil && tw.err == nil {
+			tw.err = err
+		}
+		return tw.err
+	}
 	if tw.err == nil {
 		tw.err = tw.w.Flush()
 	}
@@ -356,11 +395,28 @@ func (tw *Writer) Flush() error {
 // symbols).
 func (tw *Writer) Close(sym *event.Symtab) error {
 	if tw.err != nil {
+		if tw.pl != nil {
+			// The pipeline's goroutines must not outlive the Writer even
+			// on the sticky-error path.
+			tw.pl.close()
+			tw.pl = nil
+		}
 		return tw.err
 	}
 	tw.flushBatch()
 	if sym == nil {
 		sym = tw.sym
+	}
+	if tw.pl != nil {
+		var end [8]byte
+		binary.LittleEndian.PutUint64(end[:], tw.n)
+		tw.pl.submitFrame(frameSymtab, encodeSymtab(sym))
+		tw.pl.submitFrame(frameEnd, end[:])
+		if err := tw.pl.close(); err != nil && tw.err == nil {
+			tw.err = err
+		}
+		tw.pl = nil
+		return tw.err
 	}
 	tw.writeFrame(frameSymtab, encodeSymtab(sym))
 	var end [8]byte
@@ -455,6 +511,33 @@ type Stats struct {
 	// RawEventBytes sums what those payloads occupy uncompressed —
 	// equal to StoredEventBytes when no frame is compressed.
 	RawEventBytes uint64
+	// DecodeWorkers is the decode parallelism replay actually used: 0
+	// for the synchronous reader, 1 for the fused read-ahead goroutine,
+	// n ≥ 2 for the scanner + n-worker pipeline. The only Stats field
+	// that may legitimately differ between reader configurations; all
+	// trace-shape fields above are identical at any worker count.
+	DecodeWorkers int
+	// ScannerStalls counts the times the pipeline's framing scanner had
+	// a frame ready but no recycled buffer to scan it into — the
+	// consumer side (decode + sink) is the bottleneck. Pipeline only.
+	ScannerStalls uint64
+	// ResequencerStalls counts decoded frames that arrived at the
+	// resequencer out of order and had to wait for an earlier frame —
+	// decode-worker skew; large values with an idle sink mean one slow
+	// frame (or worker) is gating delivery. Pipeline only.
+	ResequencerStalls uint64
+}
+
+// shape strips the reader-configuration fields, leaving only the
+// trace-shape accounting that must be identical across the
+// synchronous, read-ahead, and parallel readers — what equivalence
+// tests compare.
+func (s *Stats) shape() Stats {
+	c := *s
+	c.DecodeWorkers = 0
+	c.ScannerStalls = 0
+	c.ResequencerStalls = 0
+	return c
 }
 
 // BytesPerEvent is the trace's whole-file storage cost per event.
@@ -480,22 +563,63 @@ func (s *Stats) CompressionRatio() float64 {
 // box it only adds channel overhead (BENCH_pr4.json: 25.6M vs 29.6M
 // events/sec synchronous), so the heuristic is: on iff more than one
 // core is usable. Callers that know better pass an explicit value.
+//
+// Deprecated: read-ahead is the DecodeWorkers=1 case of the parallel
+// decode pipeline; use DefaultDecodeWorkers.
 func DefaultReadAhead() bool { return runtime.GOMAXPROCS(0) > 1 }
+
+// DefaultDecodeWorkers is the recommended ReadOptions.DecodeWorkers
+// for this host: one decode worker per usable core on a multi-core
+// box, and the synchronous reader (0) on a single core, where any
+// pipeline — including the old single-goroutine read-ahead — only
+// adds channel overhead for decode work the lone core must do anyway.
+func DefaultDecodeWorkers() int {
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		return n
+	}
+	return 0
+}
 
 // ReadOptions configure the replay fast path; the zero value is the
 // default synchronous reader.
 type ReadOptions struct {
-	// ReadAhead CRC-checks and decodes frame N+1 on a dedicated
-	// goroutine while the sink consumes frame N, overlapping I/O,
-	// checksumming and record decoding with heap-image mutation.
-	// Event order and every success/corruption outcome are identical
-	// to the synchronous reader. Applies to framed (v2/v3) traces; v1
-	// traces (unframed) always read synchronously. See
-	// DefaultReadAhead for the recommended host heuristic.
+	// DecodeWorkers sets the frame-decode parallelism for framed
+	// (v2/v3) traces; v1 traces (unframed) always read synchronously.
+	//
+	//	0   synchronous reader (decode inline with the sink)
+	//	1   read-ahead: one goroutine CRC-checks and decodes frame N+1
+	//	    while the sink consumes frame N
+	//	n≥2 pipeline: a framing scanner fans whole frames to n workers
+	//	    (CRC + inflate + columnar decode into recycled buffers)
+	//	    and an in-order resequencer feeds the sink
+	//
+	// Delivery order, salvage behavior, and error semantics are
+	// identical to the synchronous reader at any setting — the lowest
+	// damaged frame wins, reported at the same offsets. Negative
+	// values read synchronously. See DefaultDecodeWorkers for the
+	// host heuristic; sched.ParseDecodeWorkers normalizes CLI values.
+	DecodeWorkers int
+	// ReadAhead is the legacy switch for the single-goroutine
+	// read-ahead decoder.
+	//
+	// Deprecated: equivalent to DecodeWorkers=1, which wins if both
+	// are set.
 	ReadAhead bool
 	// Stats, when non-nil, is filled with the trace's format and size
 	// accounting as replay proceeds.
 	Stats *Stats
+}
+
+// decodeWorkers resolves the configured parallelism: DecodeWorkers
+// wins over the deprecated ReadAhead flag.
+func (o *ReadOptions) decodeWorkers() int {
+	if o.DecodeWorkers > 0 {
+		return o.DecodeWorkers
+	}
+	if o.DecodeWorkers == 0 && o.ReadAhead {
+		return 1
+	}
+	return 0
 }
 
 // Replay reads a trace (either format version) and delivers every
@@ -580,6 +704,7 @@ type frameBuf struct {
 // either err != nil, or kind == frameEnd.
 type frameMsg struct {
 	kind       byte
+	seq        uint64        // frame sequence number (parallel resequencing)
 	events     []event.Event // frameEvents: decoded records (alias buf.events)
 	sym        *event.Symtab // frameSymtab: decoded checkpoint
 	declared   uint64        // frameEnd: writer's event count
@@ -591,19 +716,71 @@ type frameMsg struct {
 	compressed bool          // frameEvents: body was stored flate-compressed
 }
 
+// payloadDecoder turns one CRC-valid frame payload into a frameMsg.
+// It is the version-specific half of frame decoding, shared by the
+// serial frameDecoder and by each parallel decode worker; its decomp
+// and flate state are reused across frames, so one instance belongs
+// to exactly one goroutine.
+type payloadDecoder struct {
+	version uint32
+	decomp  []byte     // v3: decompressed body scratch, reused per frame
+	inflate flateCodec // v3: reusable flate state
+}
+
+// decodePayload validates and decodes payload into msg, filling
+// msg.kind and the kind-specific fields, or msg.err. Event records
+// decode into buf.events; the caller owns offset bookkeeping.
+func (d *payloadDecoder) decodePayload(kind byte, payload []byte, buf *frameBuf, msg *frameMsg) {
+	msg.kind = kind
+	switch kind {
+	case frameEvents:
+		if d.version == VersionV3 {
+			if err := d.decodeEventsV3(payload, buf, msg); err != nil {
+				msg.err = err
+			}
+			return
+		}
+		if len(payload)%recordSize != 0 {
+			msg.err = errors.New("ragged event frame")
+			return
+		}
+		n := len(payload) / recordSize
+		evs := buf.events.Grow(n)
+		for i := 0; i < n; i++ {
+			evs[i] = decodeRecord(payload[i*recordSize : (i+1)*recordSize])
+		}
+		msg.events = evs
+		msg.stored = len(payload)
+		msg.raw = len(payload)
+	case frameSymtab:
+		s, err := decodeSymtab(payload)
+		if err != nil {
+			msg.err = errors.New("bad symtab checkpoint")
+			return
+		}
+		msg.sym = s
+	case frameEnd:
+		if len(payload) != 8 {
+			msg.err = errors.New("bad end frame")
+			return
+		}
+		msg.declared = binary.LittleEndian.Uint64(payload)
+	default:
+		msg.err = fmt.Errorf("unknown frame kind %d", kind)
+	}
+}
+
 // frameDecoder reads, CRC-checks, and decodes v2/v3 frames
 // sequentially. Decoding the payload here — including symtab
 // checkpoints and v3 decompression — keeps the consumer side free of
 // mid-stream aborts, which is what lets the read-ahead goroutine
 // always run to a terminal frame and exit.
 type frameDecoder struct {
-	br      *bufio.Reader
-	version uint32
-	offset  int64 // consumed through the last fully-valid frame
-	size    int64
-	hdr     [frameHeaderSize]byte // scratch; a local would escape via io.ReadFull
-	decomp  []byte                // v3: decompressed body scratch, reused per frame
-	inflate flateCodec            // v3: reusable flate state
+	br     *bufio.Reader
+	offset int64 // consumed through the last fully-valid frame
+	size   int64
+	hdr    [frameHeaderSize]byte // scratch; a local would escape via io.ReadFull
+	dec    payloadDecoder
 }
 
 func (d *frameDecoder) next(buf *frameBuf) frameMsg {
@@ -641,43 +818,8 @@ func (d *frameDecoder) next(buf *frameBuf) frameMsg {
 		msg.err = errors.New("frame checksum mismatch")
 		return msg
 	}
-	msg.kind = kind
-	switch kind {
-	case frameEvents:
-		if d.version == VersionV3 {
-			if err := d.decodeEventsV3(payload, buf, &msg); err != nil {
-				msg.err = err
-				return msg
-			}
-			break
-		}
-		if payloadLen%recordSize != 0 {
-			msg.err = errors.New("ragged event frame")
-			return msg
-		}
-		n := len(payload) / recordSize
-		evs := buf.events.Grow(n)
-		for i := 0; i < n; i++ {
-			evs[i] = decodeRecord(payload[i*recordSize : (i+1)*recordSize])
-		}
-		msg.events = evs
-		msg.stored = len(payload)
-		msg.raw = len(payload)
-	case frameSymtab:
-		s, err := decodeSymtab(payload)
-		if err != nil {
-			msg.err = errors.New("bad symtab checkpoint")
-			return msg
-		}
-		msg.sym = s
-	case frameEnd:
-		if payloadLen != 8 {
-			msg.err = errors.New("bad end frame")
-			return msg
-		}
-		msg.declared = binary.LittleEndian.Uint64(payload)
-	default:
-		msg.err = fmt.Errorf("unknown frame kind %d", kind)
+	d.dec.decodePayload(kind, payload, buf, &msg)
+	if msg.err != nil {
 		return msg
 	}
 	d.offset += int64(frameHeaderSize) + int64(payloadLen)
@@ -692,7 +834,7 @@ const v3EventHeaderSize = 5
 // frame's reusable batch. The CRC already vouches for the bytes, so
 // any structural failure here (unknown codec, lying count, ragged
 // columns) is writer-side damage and reported as corruption.
-func (d *frameDecoder) decodeEventsV3(payload []byte, buf *frameBuf, msg *frameMsg) error {
+func (d *payloadDecoder) decodeEventsV3(payload []byte, buf *frameBuf, msg *frameMsg) error {
 	if len(payload) < v3EventHeaderSize {
 		return errors.New("short event frame")
 	}
@@ -740,15 +882,24 @@ const readAheadDepth = 4
 // terminal message (error or end frame) and the consumer always reads
 // to it.
 func replayFramed(r io.ReadSeeker, sink event.Sink, version uint32, size int64, salvage bool, opts ReadOptions) (*event.Symtab, uint64, *SalvageInfo, error) {
-	dec := &frameDecoder{
-		br:      bufio.NewReaderSize(r, 1<<16),
-		version: version,
-		offset:  8,
-		size:    size,
+	workers := opts.decodeWorkers()
+	if opts.Stats != nil {
+		opts.Stats.DecodeWorkers = workers
 	}
 	var next func() frameMsg
 	var release func(*frameBuf)
-	if opts.ReadAhead {
+	if workers >= 2 {
+		pl := newDecodePipeline(r, version, size, workers, opts.Stats)
+		defer pl.halt()
+		next = pl.next
+		release = pl.release
+	} else if workers == 1 {
+		dec := &frameDecoder{
+			br:     bufio.NewReaderSize(r, 1<<16),
+			offset: 8,
+			size:   size,
+			dec:    payloadDecoder{version: version},
+		}
 		msgs := make(chan frameMsg, readAheadDepth)
 		recycle := make(chan *frameBuf, readAheadDepth)
 		for i := 0; i < readAheadDepth; i++ {
@@ -766,6 +917,12 @@ func replayFramed(r io.ReadSeeker, sink event.Sink, version uint32, size int64, 
 		next = func() frameMsg { return <-msgs }
 		release = func(b *frameBuf) { recycle <- b }
 	} else {
+		dec := &frameDecoder{
+			br:     bufio.NewReaderSize(r, 1<<16),
+			offset: 8,
+			size:   size,
+			dec:    payloadDecoder{version: version},
+		}
 		buf := new(frameBuf)
 		next = func() frameMsg { return dec.next(buf) }
 		release = func(*frameBuf) {}
