@@ -677,3 +677,57 @@ func BenchmarkConnectivityMetricPoint(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSCCMetricPoint is the strong-connectivity sibling of
+// BenchmarkConnectivityMetricPoint: one SCCs metric point — a burst of
+// heap churn followed by the strong component count query — under the
+// snapshot Tarjan walk and the incremental SCC tracker. The churn is
+// pendant-run allocation and teardown, which the tracker's exact
+// singleton delete class absorbs without a rebuild, so the incremental
+// per-point cost stays flat while the snapshot walk pays O(V+E).
+func BenchmarkSCCMetricPoint(b *testing.B) {
+	build := func(n int, mode heapgraph.ConnectivityMode) *heapgraph.Graph {
+		g := heapgraph.New()
+		g.SetSCC(mode, 0)
+		for i := 0; i < n; i++ {
+			g.AddVertex(heapgraph.VertexID(i))
+		}
+		// Same shape as the weak-connectivity benchmark: tree linkage
+		// plus cross edges, so some inserts close cycles and exercise
+		// the probe while the churn below stays in the exact classes.
+		for i := 1; i < n; i++ {
+			g.AddEdge(heapgraph.VertexID(i/2), heapgraph.VertexID(i))
+		}
+		for i := 0; i < n/8; i++ {
+			g.AddEdge(heapgraph.VertexID(i*7%n), heapgraph.VertexID(i*13%n))
+		}
+		return g
+	}
+	for _, n := range []int{10000, 50000, 200000} {
+		for _, mode := range []heapgraph.ConnectivityMode{
+			heapgraph.ConnectivitySnapshot,
+			heapgraph.ConnectivityIncremental,
+		} {
+			b.Run(fmt.Sprintf("V=%d/%s", n, mode), func(b *testing.B) {
+				g := build(n, mode)
+				g.StronglyConnectedComponentCount() // settle the initial build
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					base := heapgraph.VertexID(n + (i%1024)*16)
+					for j := 0; j < 16; j++ {
+						g.AddVertex(base + heapgraph.VertexID(j))
+						if j > 0 {
+							g.AddEdge(base+heapgraph.VertexID(j-1), base+heapgraph.VertexID(j))
+						}
+					}
+					old := heapgraph.VertexID(n + ((i+512)%1024)*16)
+					for j := 15; j >= 0; j-- {
+						g.RemoveVertex(old + heapgraph.VertexID(j))
+					}
+					g.StronglyConnectedComponentCount()
+				}
+			})
+		}
+	}
+}

@@ -112,6 +112,7 @@ func cmdSoak(args []string) error {
 	parallel := fs.Int("parallel", 0, "cells soaked concurrently (0 = all cores, 1 = serial)")
 	train := fs.Int("train", 0, "training inputs per workload model (0 = soak default)")
 	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
+	sccPath := fs.String("scc", "snapshot", "SCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
 	extended := fs.Bool("extended", false, "soak with the extended metric suite (adds WCC/SCC structure metrics)")
 	check := fs.Bool("check", false, "exit nonzero unless every verdict matches the taxonomy with zero warmup false positives")
 	out := fs.String("o", "", "write the JSON scoreboard to FILE (default: stdout)")
@@ -127,12 +128,17 @@ func cmdSoak(args []string) error {
 	if err != nil {
 		return err
 	}
+	sccMode, err := heapgraph.ParseSCC(*sccPath)
+	if err != nil {
+		return err
+	}
 	opts := soak.Options{
 		Duration:     *duration,
 		Seed:         *seed,
 		Parallel:     workers,
 		TrainInputs:  *train,
 		Connectivity: conn,
+		SCC:          sccMode,
 		Extended:     *extended,
 	}
 	switch *policy {
@@ -184,6 +190,7 @@ func cmdTrain(args []string) error {
 	compress := fs.Bool("compress", false, "flate-compress recorded v3 trace frames (smaller files, same replay)")
 	traceWorkers := fs.Int("trace-workers", 0, "encode recorded v3 frames on this many workers per run (0 = synchronous; bytes are identical)")
 	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
+	sccPath := fs.String("scc", "snapshot", "SCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
 	extended := fs.Bool("extended", false, "train on the extended metric suite (adds WCC/SCC structure metrics)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -196,7 +203,7 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
-	logOpts, err := connectivityOptions(*connectivity, *extended)
+	logOpts, err := connectivityOptions(*connectivity, *sccPath, *extended)
 	if err != nil {
 		return err
 	}
@@ -281,14 +288,18 @@ func traceRecorder(dir string, format uint32, compress bool, workers int) (func(
 	}, nil
 }
 
-// connectivityOptions resolves the -connectivity/-extended flag pair
-// shared by train and check into logger options.
-func connectivityOptions(connectivity string, extended bool) (logger.Options, error) {
+// connectivityOptions resolves the -connectivity/-scc/-extended flag
+// triple shared by train and check into logger options.
+func connectivityOptions(connectivity, scc string, extended bool) (logger.Options, error) {
 	mode, err := heapgraph.ParseConnectivity(connectivity)
 	if err != nil {
 		return logger.Options{}, err
 	}
-	opts := logger.Options{Connectivity: mode}
+	sccMode, err := heapgraph.ParseSCC(scc)
+	if err != nil {
+		return logger.Options{}, err
+	}
+	opts := logger.Options{Connectivity: mode, SCC: sccMode}
 	if extended {
 		opts.Suite = metrics.ExtendedSuite()
 	}
@@ -335,6 +346,7 @@ func cmdCheck(args []string) error {
 	compress := fs.Bool("compress", false, "flate-compress recorded v3 trace frames (smaller files, same replay)")
 	traceWorkers := fs.Int("trace-workers", 0, "encode recorded v3 frames on this many workers per run (0 = synchronous; bytes are identical)")
 	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
+	sccPath := fs.String("scc", "snapshot", "SCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
 	extended := fs.Bool("extended", false, "check with the extended metric suite (adds WCC/SCC structure metrics)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -347,7 +359,7 @@ func cmdCheck(args []string) error {
 	if err != nil {
 		return err
 	}
-	logOpts, err := connectivityOptions(*connectivity, *extended)
+	logOpts, err := connectivityOptions(*connectivity, *sccPath, *extended)
 	if err != nil {
 		return err
 	}

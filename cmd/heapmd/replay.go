@@ -49,6 +49,7 @@ func cmdReplay(args []string) error {
 	workers := fs.Int("metric-workers", 0, "compute expensive extension metrics on this many workers (0 = inline)")
 	extended := fs.Bool("extended", false, "compute the extended metric suite (adds WCC/SCC structure metrics)")
 	connectivity := fs.String("connectivity", "snapshot", "WCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
+	sccPath := fs.String("scc", "snapshot", "SCC metric path: snapshot|incremental|verify (verify runs both and panics on divergence)")
 	freq := fs.Uint64("freq", 0, "sampling frequency; must match the recording (0 = simulation default)")
 	retries := fs.Int("retries", 3, "max retries per read/seek on transient I/O errors")
 	parallel := fs.Int("parallel", 0, "traces replayed in flight (0 = all cores, 1 = serial; output is identical)")
@@ -123,6 +124,10 @@ func cmdReplay(args []string) error {
 	if err != nil {
 		return err
 	}
+	sccMode, err := heapmd.ParseSCC(*sccPath)
+	if err != nil {
+		return err
+	}
 	var suite metrics.Suite
 	if *extended {
 		suite = metrics.ExtendedSuite()
@@ -136,6 +141,7 @@ func cmdReplay(args []string) error {
 			MetricWorkers: metricWorkers,
 			Suite:         suite,
 			Connectivity:  conn,
+			SCC:           sccMode,
 		},
 		retries: *retries,
 		program: *program,

@@ -119,9 +119,10 @@ type (
 	// backpressure policy of a Pipeline.
 	PipelineOptions = logger.PipelineOptions
 
-	// ConnectivityMode selects how the Components extension metric
-	// obtains the weak component count: snapshot walks, the
-	// incremental union-find tracker, or both with a divergence check.
+	// ConnectivityMode selects how a component extension metric
+	// (Components via Options.Connectivity, SCCs via Options.SCC)
+	// obtains its count: snapshot walks, an incremental tracker, or
+	// both with a divergence check.
 	ConnectivityMode = heapgraph.ConnectivityMode
 )
 
@@ -143,6 +144,12 @@ const (
 // ("snapshot", "incremental" or "verify").
 func ParseConnectivity(s string) (ConnectivityMode, error) {
 	return heapgraph.ParseConnectivity(s)
+}
+
+// ParseSCC resolves a -scc flag value (same spellings as
+// ParseConnectivity).
+func ParseSCC(s string) (ConnectivityMode, error) {
+	return heapgraph.ParseSCC(s)
 }
 
 // Backpressure policies for PipelineOptions.Policy.
@@ -207,9 +214,13 @@ type Options struct {
 	// weak component count; see logger.Options.Connectivity. The zero
 	// value is the snapshot walk.
 	Connectivity ConnectivityMode
-	// RebuildThreshold is the incremental connectivity tracker's
-	// delete budget between amortized re-unions; zero selects the
-	// default. Ignored in snapshot mode.
+	// SCC selects the same for the SCCs metric's strong component
+	// count; see logger.Options.SCC. The zero value is the snapshot
+	// walk.
+	SCC ConnectivityMode
+	// RebuildThreshold is the incremental trackers' dirty budget
+	// between amortized rebuilds (shared by the WCC and SCC
+	// trackers); zero selects the default. Ignored in snapshot modes.
 	RebuildThreshold int
 }
 
@@ -255,6 +266,7 @@ func (s *Session) newRun(program, input string, seed int64, plan *FaultPlan) *Ru
 		Granularity:      gran,
 		MetricWorkers:    s.opts.MetricWorkers,
 		Connectivity:     s.opts.Connectivity,
+		SCC:              s.opts.SCC,
 		RebuildThreshold: s.opts.RebuildThreshold,
 	})
 	l.SetRun(program, input, 1)
@@ -481,7 +493,10 @@ type ReplayOptions struct {
 	// Connectivity selects how the Components metric obtains the
 	// weak component count during replay; see Options.Connectivity.
 	Connectivity ConnectivityMode
-	// RebuildThreshold is the incremental tracker's delete budget;
+	// SCC selects the same for the SCCs metric's strong component
+	// count; see Options.SCC.
+	SCC ConnectivityMode
+	// RebuildThreshold is the incremental trackers' dirty budget;
 	// see Options.RebuildThreshold.
 	RebuildThreshold int
 }
@@ -508,6 +523,7 @@ func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions
 		Suite:            opts.Suite,
 		MetricWorkers:    opts.MetricWorkers,
 		Connectivity:     opts.Connectivity,
+		SCC:              opts.SCC,
 		RebuildThreshold: opts.RebuildThreshold,
 	})
 	l.SetRun(program, input, 1)

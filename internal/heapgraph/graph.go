@@ -103,6 +103,11 @@ type Graph struct {
 	// nil in snapshot mode; both fields are writer-goroutine state.
 	connMode ConnectivityMode
 	wcc      *wccTracker
+
+	// Incremental strong-connectivity tracking (incremental_scc.go),
+	// the SCC sibling of the pair above. Same ownership rules.
+	sccMode ConnectivityMode
+	scc     *sccTracker
 }
 
 // New returns an empty heap-graph.
@@ -255,6 +260,7 @@ func (g *Graph) AddVertex(v VertexID) {
 	g.nVerts.Add(1)
 	g.gen.Add(1)
 	g.wccAddVertex(s)
+	g.sccAddVertex(s)
 }
 
 // HasVertex reports whether v is present.
@@ -270,9 +276,10 @@ func (g *Graph) RemoveVertex(v VertexID) {
 	if s == noSlot {
 		return
 	}
-	// Classify the removal for the connectivity tracker before the
-	// neighbour sets are torn down (it needs the original adjacency).
+	// Classify the removal for the connectivity trackers before the
+	// neighbour sets are torn down (they need the original adjacency).
 	g.wccRemoveVertex(v, s)
+	g.sccRemoveVertex(s)
 	// Detach outgoing edges: each successor loses incoming
 	// multiplicity. The callbacks mutate only the neighbours' sets,
 	// never slot s's own, which each() permits.
@@ -317,6 +324,7 @@ func (g *Graph) RemoveVertex(v VertexID) {
 	g.nVerts.Add(-1)
 	g.gen.Add(1)
 	g.wccSettle()
+	g.sccSettle()
 }
 
 // AddEdge adds one unit of edge multiplicity from u to v. Both
@@ -346,9 +354,13 @@ func (g *Graph) AddEdge(u, v VertexID) bool {
 		g.trackIn(v, in, in+1, out)
 		g.inDeg[vs]++
 		g.wccAddEdge(us, vs)
+		g.sccAddEdge(us, vs)
 	}
 	g.edges.Add(1)
 	g.gen.Add(1)
+	// Unlike weak connectivity, edge *insertion* can dirty the SCC
+	// tracker (a probe-budget bailout), so inserts also settle.
+	g.sccSettle()
 	return true
 }
 
@@ -375,10 +387,12 @@ func (g *Graph) RemoveEdge(u, v VertexID) bool {
 		g.trackIn(v, in, in-1, out)
 		g.inDeg[vs]--
 		g.wccRemoveEdge(u, v, us, vs)
+		g.sccRemoveEdge(v, us, vs)
 	}
 	g.edges.Add(-1)
 	g.gen.Add(1)
 	g.wccSettle()
+	g.sccSettle()
 	return true
 }
 

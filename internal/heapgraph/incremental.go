@@ -1,6 +1,8 @@
 package heapgraph
 
-// This file implements incremental weak-connectivity tracking. The
+// This file implements incremental weak-connectivity tracking (the
+// strong-connectivity sibling lives in incremental_scc.go and shares
+// the union-find core and mode machinery defined here). The
 // snapshot path (structure.go) recomputes components with an O(V+E)
 // walk at every metric computation point, which caps the viable
 // sampling frequency by heap *size*; the incremental tracker instead
@@ -104,9 +106,12 @@ func ParseConnectivity(s string) (ConnectivityMode, error) {
 // delete-heavy churn.
 const DefaultRebuildThreshold = 64
 
-// wccTracker is the incremental weak-connectivity state. All access
-// is from the graph's writer goroutine.
-type wccTracker struct {
+// ufCore is the union-find state shared by the weak-connectivity
+// tracker below and the strong-connectivity tracker
+// (incremental_scc.go): the node-indirection table, the node arena,
+// and the count/dirty/threshold bookkeeping. All access is from the
+// graph's writer goroutine.
+type ufCore struct {
 	// node maps arena slot → union-find node, parallel to Graph.ids.
 	// Entries for dead slots are stale and never read.
 	node []int32
@@ -117,13 +122,13 @@ type wccTracker struct {
 	size   []int32
 
 	count     int // live component count; exact iff valid && dirty == 0
-	dirty     int // deletes since the tracker was last exact
+	dirty     int // conservative mutations since the tracker was last exact
 	threshold int // dirty level that forces a rebuild during mutation
 	valid     bool
 }
 
 // newNode appends a fresh singleton node to the node arena.
-func (t *wccTracker) newNode() int32 {
+func (t *ufCore) newNode() int32 {
 	n := int32(len(t.parent))
 	t.parent = append(t.parent, n)
 	t.size = append(t.size, 1)
@@ -131,7 +136,7 @@ func (t *wccTracker) newNode() int32 {
 }
 
 // find returns x's root, halving the path as it goes.
-func (t *wccTracker) find(x int32) int32 {
+func (t *ufCore) find(x int32) int32 {
 	for t.parent[x] != x {
 		t.parent[x] = t.parent[t.parent[x]]
 		x = t.parent[x]
@@ -141,7 +146,7 @@ func (t *wccTracker) find(x int32) int32 {
 
 // union joins the components of nodes a and b (union by size),
 // decrementing the count when they were distinct.
-func (t *wccTracker) union(a, b int32) {
+func (t *ufCore) union(a, b int32) {
 	ra, rb := t.find(a), t.find(b)
 	if ra == rb {
 		return
@@ -152,6 +157,13 @@ func (t *wccTracker) union(a, b int32) {
 	t.parent[rb] = ra
 	t.size[ra] += t.size[rb]
 	t.count--
+}
+
+// wccTracker is the incremental weak-connectivity state: the shared
+// union-find core is the whole of it (weak connectivity needs no
+// probe or Tarjan scratch).
+type wccTracker struct {
+	ufCore
 }
 
 // detach moves the vertex at slot s (already known to be isolated in
@@ -182,7 +194,7 @@ func (g *Graph) SetConnectivity(mode ConnectivityMode, rebuildThreshold int) {
 	if rebuildThreshold <= 0 {
 		rebuildThreshold = DefaultRebuildThreshold
 	}
-	g.wcc = &wccTracker{threshold: rebuildThreshold}
+	g.wcc = &wccTracker{ufCore: ufCore{threshold: rebuildThreshold}}
 }
 
 // Connectivity returns the graph's connectivity mode.

@@ -67,13 +67,14 @@ func (g *Graph) Freeze() *Structure {
 }
 
 // FreezeSCC snapshots only what a strong-components analysis needs:
-// the out-adjacency of the non-isolated vertices. When the Components
-// metric is served by the incremental tracker, SCCs is the only
-// analysis left on the worker goroutines, and Tarjan never reads the
-// in-adjacency; isolated vertices (no edges in either direction) are
-// each trivially a singleton SCC — a singleton weak component the
-// incremental partition already accounts for — so they are counted
-// here instead of materialized. The returned structure is valid ONLY
+// the out-adjacency of the non-isolated vertices. It serves async
+// metric jobs whose ONLY whole-graph analysis is a snapshot-mode SCC
+// walk (the Components metric being incremental or absent); with the
+// incremental SCC tracker on (incremental_scc.go) no such jobs are
+// dispatched at all and this path is the differential oracle and
+// fallback, not the default. Tarjan never reads the in-adjacency;
+// isolated vertices (no edges in either direction) are each trivially
+// a singleton SCC, so they are counted here instead of materialized. The returned structure is valid ONLY
 // for StronglyConnectedComponents (its in-adjacency is empty); the
 // caller must add `isolated` to the resulting Count, and isolated
 // vertices contribute components of size 1 to Largest. Like Freeze,

@@ -83,14 +83,16 @@ type Options struct {
 	Granularity Granularity
 	// Symtab resolves function IDs for reporting; optional.
 	Symtab *event.Symtab
-	// MetricWorkers > 0 evaluates the expensive extension metrics
+	// MetricWorkers > 0 evaluates snapshot-mode extension metrics
 	// (WCC/SCC) on that many worker goroutines instead of inline at
 	// the metric computation point, so sampling never stalls event
 	// ingestion for a whole-graph walk. Exact results are joined back
 	// into the recorded snapshots by tick before Report returns;
-	// observers see the newest completed values in the expensive
-	// slots (carry-forward) rather than blocking. Ignored when the
-	// suite contains no expensive metric.
+	// observers see the newest completed values in the async slots
+	// (carry-forward) rather than blocking. Ignored when no metric in
+	// the suite needs async dispatch under the configured component
+	// modes — with both Components and SCCs incremental there is
+	// nothing to dispatch and no worker is started.
 	MetricWorkers int
 	// Connectivity selects how the Components metric obtains the weak
 	// component count: recomputed from a snapshot walk (the zero
@@ -98,9 +100,14 @@ type Options struct {
 	// mutation, or both with a divergence check (verify — an oracle
 	// mode for tests). See heapgraph.ConnectivityMode.
 	Connectivity heapgraph.ConnectivityMode
-	// RebuildThreshold is the incremental tracker's delete budget
-	// between amortized re-unions; zero selects
-	// heapgraph.DefaultRebuildThreshold. Ignored in snapshot mode.
+	// SCC selects the same for the SCCs metric's strong component
+	// count, independently of Connectivity (the modes share spellings
+	// and semantics).
+	SCC heapgraph.ConnectivityMode
+	// RebuildThreshold is the incremental trackers' dirty budget
+	// between amortized rebuilds, shared by both trackers; zero
+	// selects heapgraph.DefaultRebuildThreshold. Ignored in snapshot
+	// modes.
 	RebuildThreshold int
 }
 
@@ -223,13 +230,12 @@ func New(opts Options) *Logger {
 		freed:   make(map[uint64]struct{}),
 	}
 	l.graph.SetConnectivity(opts.Connectivity, opts.RebuildThreshold)
-	if opts.MetricWorkers > 0 {
-		for _, id := range opts.Suite.IDs() {
-			if id.Expensive() {
-				l.async = metrics.NewAsync(opts.Suite, opts.MetricWorkers)
-				break
-			}
-		}
+	l.graph.SetSCC(opts.SCC, opts.RebuildThreshold)
+	// Async machinery exists for snapshot-mode component walks only:
+	// a suite whose component metrics are all incremental (or absent)
+	// computes every sample inline and skips the workers entirely.
+	if opts.MetricWorkers > 0 && opts.Suite.NeedsAsync(opts.Connectivity, opts.SCC) {
+		l.async = metrics.NewAsync(opts.Suite, opts.MetricWorkers)
 	}
 	return l
 }

@@ -12,14 +12,20 @@
 // snapshot holds exact values — the final Report is identical to one
 // computed synchronously.
 //
-// When the graph runs in an incremental connectivity mode, Components
-// is no longer expensive: Compute reads the union-find tracker's
-// count synchronously (O(α) amortized in churn), and only SCCs —
-// if present in the suite — still goes to the workers, on a reduced
-// out-only snapshot (FreezeSCC) that the incremental weak partition
-// pre-shrinks by excluding isolated vertices. A suite whose only
-// expensive metric is Components then never freezes and never
-// dispatches at all.
+// Whether a walk is needed at all depends on the graph's component
+// modes, not on the metric's identity: in an incremental mode,
+// Components reads the union-find tracker and SCCs reads the
+// strong-connectivity tracker, both synchronously (O(churn), not
+// O(size)), and neither dispatches. Only snapshot-mode component
+// metrics go to the workers — SCC-only jobs on a reduced out-only
+// FreezeSCC snapshot (isolated vertices counted, not materialized),
+// anything needing the weak walk on a full Freeze. With both metrics
+// incremental the evaluator never freezes and never dispatches: the
+// worker pool, snapshot structures, and carry memo are pure fallback
+// paths (and the snapshot walk remains the differential oracle that
+// verify mode diffs the trackers against). Callers can skip
+// constructing an Async entirely in that configuration — see
+// Suite.NeedsAsync.
 package metrics
 
 import (
@@ -148,15 +154,22 @@ func (a *Async) Compute(g *heapgraph.Graph, tick uint64) (Snapshot, []float64) {
 			snap.Values[i] = pct(g.CountInEqOut())
 		}
 	}
-	incremental := g.Connectivity() != heapgraph.ConnectivitySnapshot
-	if a.wccIdx >= 0 && incremental {
+	incrementalWCC := g.Connectivity() != heapgraph.ConnectivitySnapshot
+	incrementalSCC := g.SCCMode() != heapgraph.ConnectivitySnapshot
+	if a.wccIdx >= 0 && incrementalWCC {
 		// Fast path: the incremental tracker answers without freezing
 		// anything — exact, synchronous, costed by churn not size.
 		snap.Values[a.wccIdx] = pct(g.ConnectedComponentCount())
 	}
-	wccAsync := a.wccIdx >= 0 && !incremental
-	sccAsync := a.sccIdx >= 0
+	if a.sccIdx >= 0 && incrementalSCC {
+		// Same fast path for strong connectivity.
+		snap.Values[a.sccIdx] = pct(g.StronglyConnectedComponentCount())
+	}
+	wccAsync := a.wccIdx >= 0 && !incrementalWCC
+	sccAsync := a.sccIdx >= 0 && !incrementalSCC
 	if !wccAsync && !sccAsync {
+		// Both component metrics (if present) were answered inline:
+		// no freeze, no dispatch, nothing for the workers to do.
 		return snap, snap.Values
 	}
 
@@ -216,10 +229,10 @@ func (a *Async) Compute(g *heapgraph.Graph, tick uint64) (Snapshot, []float64) {
 	if sccAsync {
 		job.sccAt = a.sccIdx
 	}
-	if job.wccAt < 0 && incremental {
-		// Only SCCs left, and the incremental weak partition already
-		// accounts for isolated vertices: freeze the reduced out-only
-		// structure Tarjan actually needs.
+	if job.wccAt < 0 {
+		// Only SCCs go to the worker: freeze the reduced out-only
+		// structure Tarjan actually needs. The isolated vertices it
+		// excludes ride along as a count the worker adds back.
 		job.st, job.isolated = g.FreezeSCC()
 	} else {
 		job.st = g.Freeze()

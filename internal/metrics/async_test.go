@@ -167,3 +167,86 @@ func TestAsyncSCCWithFreezeSCC(t *testing.T) {
 		}
 	}
 }
+
+// TestAsyncIncrementalInlineSCC checks the strong-connectivity fast
+// path: with the graph's SCC metric in incremental mode (Components
+// still snapshot), the SCCs slot is exact synchronously — in both the
+// recorded snapshot and the observed copy — before any worker has
+// run, while Components still rides the async walk; the final report
+// matches synchronous evaluation.
+func TestAsyncIncrementalInlineSCC(t *testing.T) {
+	suite := ExtendedSuite()
+	a := NewAsync(suite, 2)
+	defer a.Close()
+	g := heapgraph.New()
+	g.SetSCC(heapgraph.ConnectivityIncremental, 0)
+	buildChains(g)
+
+	sccIdx := suite.Index(SCCs)
+	wantSCC := float64(g.StronglyConnectedComponents().Count) / float64(g.NumVertices()) * 100
+	snap, observed := a.Compute(g, 1)
+	if snap.Values[sccIdx] != wantSCC || observed[sccIdx] != wantSCC {
+		t.Fatalf("incremental SCC slot = %v/%v before Wait, want %v",
+			snap.Values[sccIdx], observed[sccIdx], wantSCC)
+	}
+	a.Wait()
+	want := suite.Compute(g, 1)
+	for j := range want.Values {
+		if snap.Values[j] != want.Values[j] {
+			t.Fatalf("metric %s: async %v, sync %v", suite.IDs()[j], snap.Values[j], want.Values[j])
+		}
+	}
+}
+
+// TestAsyncBothIncrementalNeverDispatches checks the tentpole fast
+// path: with BOTH component metrics incremental, the full extended
+// suite computes every sample inline — no freeze, no dispatch
+// (Compute returns the recorded slice itself, the documented signal),
+// and the values match synchronous evaluation exactly.
+func TestAsyncBothIncrementalNeverDispatches(t *testing.T) {
+	suite := ExtendedSuite()
+	a := NewAsync(suite, 2)
+	defer a.Close()
+	g := heapgraph.New()
+	g.SetConnectivity(heapgraph.ConnectivityIncremental, 0)
+	g.SetSCC(heapgraph.ConnectivityIncremental, 0)
+	buildChains(g)
+	for tick := uint64(1); tick <= 5; tick++ {
+		g.AddVertex(heapgraph.VertexID(3000 + tick))
+		g.AddEdge(3000+heapgraph.VertexID(tick), 1)
+		snap, observed := a.Compute(g, tick)
+		if &snap.Values[0] != &observed[0] {
+			t.Fatal("fully incremental Compute dispatched a job (observed copy was taken)")
+		}
+		want := suite.Compute(g, tick)
+		for j := range want.Values {
+			if snap.Values[j] != want.Values[j] {
+				t.Fatalf("tick %d metric %s: got %v, want %v",
+					tick, suite.IDs()[j], snap.Values[j], want.Values[j])
+			}
+		}
+	}
+}
+
+// TestAsyncIncrementalSCCOnlyNeverDispatches is the SCC mirror of the
+// WCC-only fast path: a suite whose only walk-capable metric is SCCs,
+// on a graph with the SCC tracker on, never freezes and never
+// dispatches.
+func TestAsyncIncrementalSCCOnlyNeverDispatches(t *testing.T) {
+	suite := NewSuite(Roots, Leaves, SCCs) // no Components
+	a := NewAsync(suite, 2)
+	defer a.Close()
+	g := heapgraph.New()
+	g.SetSCC(heapgraph.ConnectivityIncremental, 0)
+	buildChains(g)
+	snap, observed := a.Compute(g, 1)
+	if &snap.Values[0] != &observed[0] {
+		t.Fatal("SCC-only incremental Compute dispatched a job (observed copy was taken)")
+	}
+	want := suite.Compute(g, 1)
+	for j := range want.Values {
+		if snap.Values[j] != want.Values[j] {
+			t.Fatalf("metric %s: got %v, want %v", suite.IDs()[j], snap.Values[j], want.Values[j])
+		}
+	}
+}

@@ -43,10 +43,12 @@ const (
 	// Components is the number of weakly connected components per
 	// 100 vertices. Normalizing by graph size keeps the metric
 	// comparable across heap sizes, like the percentage metrics.
-	// Extension metric: expensive (full graph walk per sample).
+	// Extension metric: a full graph walk per sample in snapshot
+	// mode, O(churn) under the incremental tracker.
 	Components
 	// SCCs is the number of strongly connected components per 100
-	// vertices. Extension metric: expensive.
+	// vertices. Extension metric: like Components, a walk per sample
+	// only in snapshot mode.
 	SCCs
 
 	numIDs
@@ -76,9 +78,36 @@ func (id ID) String() string {
 	return names[id]
 }
 
-// Expensive reports whether evaluating the metric requires a full
-// graph walk (extension metrics) rather than an O(1) histogram read.
-func (id ID) Expensive() bool { return id == Components || id == SCCs }
+// NeedsWalk reports whether evaluating the metric requires a full
+// graph walk at metric points, given the graph's configured component
+// modes. Only the extension metrics ever walk, and only in snapshot
+// mode: incremental mode maintains the count under mutation, and
+// verify mode pays its oracle walk inline on the writer goroutine (a
+// deterministic divergence check cannot ride the async worker). This
+// replaces the old hardcoded ID.Expensive() gate, which predates the
+// incremental trackers and would spin up async machinery for suites
+// that never dispatch a job.
+func (id ID) NeedsWalk(conn, scc heapgraph.ConnectivityMode) bool {
+	switch id {
+	case Components:
+		return conn == heapgraph.ConnectivitySnapshot
+	case SCCs:
+		return scc == heapgraph.ConnectivitySnapshot
+	}
+	return false
+}
+
+// NeedsAsync reports whether any metric in the suite would benefit
+// from async dispatch under the given component modes — the gate for
+// constructing an Async evaluator at all.
+func (s Suite) NeedsAsync(conn, scc heapgraph.ConnectivityMode) bool {
+	for _, id := range s.ids {
+		if id.NeedsWalk(conn, scc) {
+			return true
+		}
+	}
+	return false
+}
 
 // ParseID resolves a display name back to an ID.
 func ParseID(name string) (ID, error) {
@@ -191,7 +220,10 @@ func (s Suite) Compute(g *heapgraph.Graph, tick uint64) Snapshot {
 			// or both with a divergence check in verify mode.
 			snap.Values[i] = float64(g.ConnectedComponentCount()) / float64(n) * 100
 		case SCCs:
-			snap.Values[i] = float64(g.StronglyConnectedComponentsCached().Count) / float64(n) * 100
+			// Mode dispatch mirrors Components: incremental tracker,
+			// memoized snapshot walk, or verify (both + panic on
+			// divergence).
+			snap.Values[i] = float64(g.StronglyConnectedComponentCount()) / float64(n) * 100
 		}
 	}
 	return snap

@@ -48,9 +48,49 @@ func TestDefaultSuite(t *testing.T) {
 		t.Fatalf("default suite has %d metrics, want 7", s.Len())
 	}
 	for _, id := range s.IDs() {
-		if id.Expensive() {
-			t.Errorf("default suite contains expensive metric %v", id)
+		if id.NeedsWalk(heapgraph.ConnectivitySnapshot, heapgraph.ConnectivitySnapshot) {
+			t.Errorf("default suite contains walk-requiring metric %v", id)
 		}
+	}
+	if s.NeedsAsync(heapgraph.ConnectivitySnapshot, heapgraph.ConnectivitySnapshot) {
+		t.Error("default suite claims to need async dispatch")
+	}
+}
+
+// TestNeedsWalkModeAware pins the mode-aware dispatch decisions that
+// replaced the hardcoded Expensive() gate: a component metric needs a
+// whole-graph walk at metric points only in snapshot mode.
+func TestNeedsWalkModeAware(t *testing.T) {
+	snapM, inc, ver := heapgraph.ConnectivitySnapshot, heapgraph.ConnectivityIncremental, heapgraph.ConnectivityVerify
+	cases := []struct {
+		id       ID
+		conn, sc heapgraph.ConnectivityMode
+		want     bool
+	}{
+		{Components, snapM, snapM, true},
+		{Components, inc, snapM, false},
+		{Components, ver, snapM, false}, // verify walks inline, not async
+		{Components, snapM, inc, true},  // SCC mode is irrelevant to Components
+		{SCCs, snapM, snapM, true},
+		{SCCs, snapM, inc, false},
+		{SCCs, snapM, ver, false},
+		{SCCs, inc, snapM, true}, // WCC mode is irrelevant to SCCs
+		{Roots, snapM, snapM, false},
+		{InEqOut, snapM, snapM, false},
+	}
+	for _, c := range cases {
+		if got := c.id.NeedsWalk(c.conn, c.sc); got != c.want {
+			t.Errorf("%v.NeedsWalk(%v, %v) = %v, want %v", c.id, c.conn, c.sc, got, c.want)
+		}
+	}
+	if !ExtendedSuite().NeedsAsync(inc, snapM) {
+		t.Error("extended suite with snapshot SCCs should need async")
+	}
+	if ExtendedSuite().NeedsAsync(inc, inc) {
+		t.Error("fully incremental extended suite should not need async")
+	}
+	if ExtendedSuite().NeedsAsync(ver, ver) {
+		t.Error("verify modes pay their walks inline; no async needed")
 	}
 }
 

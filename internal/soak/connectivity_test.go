@@ -63,3 +63,60 @@ func TestSoakConnectivityScoreboardEquivalence(t *testing.T) {
 		t.Fatalf("scoreboards differ between connectivity modes:\nsnapshot:    %s\nincremental: %s", snap, inc)
 	}
 }
+
+// TestSoakSCCVerify mirrors TestSoakConnectivityVerify for the strong
+// connectivity tracker: the frag-storm and aba-dangling-rewire cells
+// run the full warmup → fault → recovery schedule with the SCCs metric
+// in verify mode at rebuild thresholds 1 and 8. Every metric point
+// compares the incremental SCC count against the snapshot Tarjan walk
+// and panics on divergence, so a completed schedule is the
+// differential result.
+func TestSoakSCCVerify(t *testing.T) {
+	for _, th := range []int{1, 8} {
+		sb, err := Run(Options{
+			Seed:             1,
+			Faults:           []string{faults.FragStorm, faults.ABARewire},
+			Extended:         true,
+			SCC:              heapgraph.ConnectivityVerify,
+			RebuildThreshold: th,
+			Parallel:         -1,
+		})
+		if err != nil {
+			t.Fatalf("threshold %d: %v", th, err)
+		}
+		if len(sb.Cells) == 0 {
+			t.Fatalf("threshold %d: no cells ran", th)
+		}
+	}
+}
+
+// TestSoakSCCScoreboardEquivalence requires that switching the SCCs
+// metric from the snapshot walk to the incremental tracker — with the
+// weak connectivity tracker incremental as well, the all-incremental
+// production configuration — changes nothing observable: byte-identical
+// scoreboards, down to every verdict, latency bucket and counter.
+func TestSoakSCCScoreboardEquivalence(t *testing.T) {
+	run := func(scc heapgraph.ConnectivityMode) []byte {
+		sb, err := Run(Options{
+			Seed:         1,
+			Faults:       []string{faults.FragStorm, faults.ABARewire, faults.TypoLeak},
+			Extended:     true,
+			Connectivity: heapgraph.ConnectivityIncremental,
+			SCC:          scc,
+			Parallel:     -1,
+		})
+		if err != nil {
+			t.Fatalf("scc %s: %v", scc, err)
+		}
+		var buf bytes.Buffer
+		if err := sb.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	snap := run(heapgraph.ConnectivitySnapshot)
+	inc := run(heapgraph.ConnectivityIncremental)
+	if !bytes.Equal(snap, inc) {
+		t.Fatalf("scoreboards differ between scc modes:\nsnapshot:    %s\nincremental: %s", snap, inc)
+	}
+}

@@ -88,8 +88,11 @@ type Options struct {
 	// training, so models and soak runs see the same path); see
 	// heapgraph.ConnectivityMode. Zero value is the snapshot walk.
 	Connectivity heapgraph.ConnectivityMode
-	// RebuildThreshold is the incremental tracker's delete budget
-	// between amortized re-unions; 0 selects the default.
+	// SCC selects the same for the SCCs metric's strong component
+	// count. Zero value is the snapshot walk.
+	SCC heapgraph.ConnectivityMode
+	// RebuildThreshold is the incremental trackers' dirty budget
+	// between amortized rebuilds; 0 selects the default.
 	RebuildThreshold int
 	// Progress, when set, receives one line per completed cell.
 	Progress io.Writer
@@ -245,6 +248,7 @@ func (r *runner) loggerOptions() logger.Options {
 	opts := logger.Options{
 		Frequency:        workloads.DefaultFrequency,
 		Connectivity:     r.opts.Connectivity,
+		SCC:              r.opts.SCC,
 		RebuildThreshold: r.opts.RebuildThreshold,
 	}
 	if r.opts.Extended {

@@ -98,3 +98,101 @@ func TestConnectivityModesIdenticalFindings(t *testing.T) {
 		}
 	}
 }
+
+// runWithModes is runWithConnectivity with both component-metric modes
+// under control.
+func runWithModes(t *testing.T, w Workload, in Input, conn, scc heapgraph.ConnectivityMode, plan *faults.Plan) *logger.Report {
+	t.Helper()
+	rep, _, err := RunLogged(w, in, RunConfig{
+		Plan: plan,
+		Logger: logger.Options{
+			Suite:        metrics.ExtendedSuite(),
+			Connectivity: conn,
+			SCC:          scc,
+		},
+	})
+	if err != nil {
+		t.Fatalf("%s/conn=%s,scc=%s: %v", w.Name(), conn, scc, err)
+	}
+	return rep
+}
+
+// TestSCCModesByteIdenticalReports is the strong-connectivity
+// differential acceptance sweep: every workload, run with the extended
+// suite under snapshot, fully-incremental (both trackers) and
+// fully-verify modes, must produce byte-identical reports. The verify
+// legs panic mid-run on any divergence of either tracker, so this is
+// an oracle sweep of both incremental paths over all 13 workloads'
+// allocation patterns.
+func TestSCCModesByteIdenticalReports(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			in := w.Inputs(1)[0]
+			base := runWithModes(t, w, in, heapgraph.ConnectivitySnapshot, heapgraph.ConnectivitySnapshot, nil)
+			baseJSON, err := json.Marshal(base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, mode := range []heapgraph.ConnectivityMode{
+				heapgraph.ConnectivityIncremental,
+				heapgraph.ConnectivityVerify,
+			} {
+				rep := runWithModes(t, w, in, mode, mode, nil)
+				repJSON, err := json.Marshal(rep)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(baseJSON, repJSON) {
+					t.Fatalf("conn+scc %s report differs from snapshot mode:\nsnapshot:    %s\n%-11s: %s",
+						mode, baseJSON, mode, repJSON)
+				}
+			}
+			// SCC incremental alone (Components still snapshot) must
+			// also be invisible in the report.
+			rep := runWithModes(t, w, in, heapgraph.ConnectivitySnapshot, heapgraph.ConnectivityIncremental, nil)
+			repJSON, err := json.Marshal(rep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(baseJSON, repJSON) {
+				t.Fatalf("scc-only incremental report differs from snapshot mode:\nsnapshot: %s\ngot:      %s",
+					baseJSON, repJSON)
+			}
+		})
+	}
+}
+
+// TestSCCModesIdenticalFindings closes the loop through the detector
+// for the SCC tracker: a model trained on snapshot-mode reports must
+// yield identical findings when checking faulty runs executed with the
+// SCC metric incremental or verified.
+func TestSCCModesIdenticalFindings(t *testing.T) {
+	w, _ := Get("webapp")
+	cfg := RunConfig{Logger: logger.Options{Suite: metrics.ExtendedSuite()}}
+	training, err := Train(w, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	built, err := model.Build(training, model.Thresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	in := w.Inputs(2)[1]
+	plan := func() *faults.Plan { return faults.NewPlan().EnableAlways(faults.TypoLeak) }
+	base := runWithModes(t, w, in, heapgraph.ConnectivitySnapshot, heapgraph.ConnectivitySnapshot, plan())
+	baseFindings := detect.CheckReport(built.Model, base, detect.Options{})
+	for _, mode := range []heapgraph.ConnectivityMode{
+		heapgraph.ConnectivityIncremental,
+		heapgraph.ConnectivityVerify,
+	} {
+		rep := runWithModes(t, w, in, heapgraph.ConnectivityIncremental, mode, plan())
+		findings := detect.CheckReport(built.Model, rep, detect.Options{})
+		if !reflect.DeepEqual(baseFindings, findings) {
+			t.Fatalf("scc=%s findings differ from snapshot mode:\nsnapshot: %v\nscc=%s: %v",
+				mode, baseFindings, mode, findings)
+		}
+	}
+}
