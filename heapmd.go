@@ -119,6 +119,10 @@ type (
 	// backpressure policy of a Pipeline.
 	PipelineOptions = logger.PipelineOptions
 
+	// IngestStats are the speculative ingest pipeline's counters:
+	// worker count, speculation hits/fallbacks and stall breakdown.
+	IngestStats = logger.IngestStats
+
 	// ConnectivityMode selects how a component extension metric
 	// (Components via Options.Connectivity, SCCs via Options.SCC)
 	// obtains its count: snapshot walks, an incremental tracker, or
@@ -222,6 +226,13 @@ type Options struct {
 	// between amortized rebuilds (shared by the WCC and SCC
 	// trackers); zero selects the default. Ignored in snapshot modes.
 	RebuildThreshold int
+	// IngestWorkers >= 2 puts the pipeline-parallel ingestion stage
+	// (one strictly in-order mutator plus IngestWorkers-1 speculative
+	// address pre-resolvers, see logger.Ingest) between each run's
+	// process and its logger. Reports are byte-identical at any
+	// setting; 0 or 1 keeps the direct serial path. Run.Report closes
+	// the stage. Use sched.ParseIngestWorkers to resolve a flag value.
+	IngestWorkers int
 }
 
 // Session manages model construction across training runs.
@@ -237,6 +248,7 @@ func NewSession(opts Options) *Session { return &Session{opts: opts} }
 type Run struct {
 	process *Process
 	log     *logger.Logger
+	ingest  *logger.Ingest // non-nil when Options.IngestWorkers >= 2
 }
 
 // NewRun creates an instrumented process for one execution of the
@@ -270,8 +282,16 @@ func (s *Session) newRun(program, input string, seed int64, plan *FaultPlan) *Ru
 		RebuildThreshold: s.opts.RebuildThreshold,
 	})
 	l.SetRun(program, input, 1)
-	p.Subscribe(l)
-	return &Run{process: p, log: l}
+	r := &Run{process: p, log: l}
+	if s.opts.IngestWorkers >= 2 {
+		// The executing goroutine is the ingest stage's single
+		// producer; Report closes the stage before finalizing.
+		r.ingest = logger.NewIngest(l, logger.IngestOptions{Workers: s.opts.IngestWorkers})
+		p.Subscribe(r.ingest)
+	} else {
+		p.Subscribe(l)
+	}
+	return r
 }
 
 // Pipeline puts a concurrent ingestion pipeline in front of a run's
@@ -291,8 +311,25 @@ func (r *Run) Process() *Process { return r.process }
 // run's logger. Must be called before executing the program.
 func (r *Run) Observe(d *Detector) { r.log.Observe(d) }
 
-// Report finalizes the run's metric report.
-func (r *Run) Report() *Report { return r.log.Report() }
+// Report finalizes the run's metric report. With Options.IngestWorkers
+// it first flushes and closes the ingest stage, so the process must be
+// done executing; further process activity after Report is an error.
+func (r *Run) Report() *Report {
+	if r.ingest != nil {
+		r.ingest.Close()
+	}
+	return r.log.Report()
+}
+
+// IngestStats returns the run's speculative ingest pipeline counters
+// (the zero value when Options.IngestWorkers left the serial path).
+// Call after Report.
+func (r *Run) IngestStats() IngestStats {
+	if r.ingest == nil {
+		return IngestStats{}
+	}
+	return r.ingest.Stats()
+}
 
 // AddTraining adds a completed run's report to the training set.
 func (s *Session) AddTraining(r *Run) { s.reports = append(s.reports, r.Report()) }
@@ -499,6 +536,17 @@ type ReplayOptions struct {
 	// RebuildThreshold is the incremental trackers' dirty budget;
 	// see Options.RebuildThreshold.
 	RebuildThreshold int
+	// IngestWorkers >= 2 applies the trace through the speculative
+	// ingest stage: one strictly in-order mutator plus IngestWorkers-1
+	// pre-resolvers overlapping address resolution with application
+	// (see logger.Ingest). Composes with DecodeWorkers — a single
+	// stream then uses decode workers, pre-resolvers and the mutator
+	// concurrently. The report is byte-identical at any setting; 0 or
+	// 1 keeps the serial consumer. When >= 2 it subsumes Pipelined
+	// (the stage already decouples decode from application). The
+	// counters land in Stats. Use sched.ParseIngestWorkers to resolve
+	// a flag value.
+	IngestWorkers int
 }
 
 // ReplayTrace replays a recorded trace into a fresh logger and
@@ -530,7 +578,11 @@ func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions
 	var sink event.Sink = l
 	var pipe *Pipeline
 	var prod *PipelineProducer
-	if opts.Pipelined {
+	var ing *logger.Ingest
+	if opts.IngestWorkers >= 2 {
+		ing = logger.NewIngest(l, logger.IngestOptions{Workers: opts.IngestWorkers})
+		sink = ing
+	} else if opts.Pipelined {
 		pipe = logger.NewPipeline(l, PipelineOptions{})
 		prod = pipe.NewProducer()
 		sink = prod
@@ -547,6 +599,17 @@ func ReplayTraceWith(rd io.ReadSeeker, program, input string, opts ReplayOptions
 		var n uint64
 		sym, n, err = trace.ReplayWith(rd, sink, ropts)
 		info = &SalvageInfo{EventsRecovered: n}
+	}
+	if ing != nil {
+		ing.Close()
+		if opts.Stats != nil {
+			st := ing.Stats()
+			opts.Stats.IngestWorkers = st.Workers
+			opts.Stats.SpeculationHits = st.SpeculationHits
+			opts.Stats.SpeculationFallbacks = st.SpeculationFallbacks
+			opts.Stats.PreResolveStalls = st.PreResolveStalls
+			opts.Stats.MutatorStalls = st.MutatorStalls
+		}
 	}
 	if pipe != nil {
 		prod.Close()

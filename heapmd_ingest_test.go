@@ -1,0 +1,133 @@
+package heapmd
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// recordListProgTrace records one listprog run and returns the trace
+// bytes plus the report the recording session itself produced.
+func recordListProgTrace(t *testing.T) ([]byte, *Report) {
+	t.Helper()
+	sess := NewSession(Options{Frequency: 4})
+	run := sess.NewRun("listprog", "traced", 7)
+	var buf bytes.Buffer
+	closeTrace, err := RecordTrace(run, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buildListProgram(run.Process(), false, 400)
+	if err := closeTrace(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), run.Report()
+}
+
+func diffFacadeReports(t *testing.T, label string, got, want *Report) {
+	t.Helper()
+	if fmt.Sprintf("%+v", got.Snapshots) != fmt.Sprintf("%+v", want.Snapshots) {
+		t.Errorf("%s: different metric snapshots", label)
+	}
+	if got.Health != want.Health {
+		t.Errorf("%s: different health counters: %+v vs %+v", label, got.Health, want.Health)
+	}
+	if got.Events != want.Events || got.FnEntries != want.FnEntries {
+		t.Errorf("%s: events/entries %d/%d vs %d/%d", label, got.Events, got.FnEntries, want.Events, want.FnEntries)
+	}
+}
+
+// TestIngestReplayFacade: ReplayOptions.IngestWorkers must reconstruct
+// the recording session's exact report — alone, and composed with the
+// decode pipeline — while surfacing its counters in TraceStats.
+func TestIngestReplayFacade(t *testing.T) {
+	data, recorded := recordListProgTrace(t)
+
+	serialRep, _, _, err := ReplayTraceWith(bytes.NewReader(data), "listprog", "traced", ReplayOptions{Frequency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffFacadeReports(t, "serial replay vs recording", serialRep, recorded)
+
+	for _, opts := range []ReplayOptions{
+		{Frequency: 4, IngestWorkers: 2},
+		{Frequency: 4, IngestWorkers: 4},
+		{Frequency: 4, IngestWorkers: 4, DecodeWorkers: 2}, // composed with the decode pipeline
+	} {
+		var st TraceStats
+		opts.Stats = &st
+		rep, _, _, err := ReplayTraceWith(bytes.NewReader(data), "listprog", "traced", opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		label := fmt.Sprintf("ingest=%d decode=%d", opts.IngestWorkers, opts.DecodeWorkers)
+		diffFacadeReports(t, label, rep, serialRep)
+		if st.IngestWorkers != opts.IngestWorkers {
+			t.Errorf("%s: TraceStats.IngestWorkers = %d", label, st.IngestWorkers)
+		}
+		if st.SpeculationHits+st.SpeculationFallbacks == 0 {
+			t.Errorf("%s: no stores accounted by the ingest stage", label)
+		}
+	}
+}
+
+// TestIngestReplayFacadeDamaged: corrupt and truncated traces must
+// behave identically at every ingest setting — same error in strict
+// mode, same salvaged report and SalvageInfo in salvage mode.
+func TestIngestReplayFacadeDamaged(t *testing.T) {
+	data, _ := recordListProgTrace(t)
+	cut := data[:len(data)*2/3]
+	flipped := bytes.Clone(data)
+	flipped[len(flipped)/2] ^= 0x20
+
+	for name, damaged := range map[string][]byte{"truncated": cut, "flipped": flipped} {
+		_, _, _, serialErr := ReplayTraceWith(bytes.NewReader(damaged), "listprog", "traced", ReplayOptions{Frequency: 4})
+		_, _, _, ingestErr := ReplayTraceWith(bytes.NewReader(damaged), "listprog", "traced", ReplayOptions{Frequency: 4, IngestWorkers: 4})
+		if (serialErr == nil) != (ingestErr == nil) ||
+			(serialErr != nil && serialErr.Error() != ingestErr.Error()) {
+			t.Errorf("%s strict: serial err %v, ingest err %v", name, serialErr, ingestErr)
+		}
+
+		serialRep, _, serialInfo, err := ReplayTraceWith(bytes.NewReader(damaged), "listprog", "traced",
+			ReplayOptions{Frequency: 4, Salvage: true})
+		if err != nil {
+			t.Fatalf("%s salvage serial: %v", name, err)
+		}
+		ingestRep, _, ingestInfo, err := ReplayTraceWith(bytes.NewReader(damaged), "listprog", "traced",
+			ReplayOptions{Frequency: 4, Salvage: true, IngestWorkers: 4})
+		if err != nil {
+			t.Fatalf("%s salvage ingest: %v", name, err)
+		}
+		diffFacadeReports(t, name+" salvage", ingestRep, serialRep)
+		if *serialInfo != *ingestInfo {
+			t.Errorf("%s salvage info: %+v vs %+v", name, serialInfo, ingestInfo)
+		}
+	}
+}
+
+// TestIngestSessionFacade: Options.IngestWorkers on a live session
+// must leave the report bit-identical to a serial session over the
+// same program, with the stage's counters visible on the Run.
+func TestIngestSessionFacade(t *testing.T) {
+	runOnce := func(workers int) (*Report, IngestStats) {
+		sess := NewSession(Options{Frequency: 4, IngestWorkers: workers})
+		run := sess.NewRun("listprog", "live", 7)
+		buildListProgram(run.Process(), false, 400)
+		rep := run.Report()
+		return rep, run.IngestStats()
+	}
+	want, zero := runOnce(0)
+	if zero != (IngestStats{}) {
+		t.Fatalf("serial run reported ingest stats %+v", zero)
+	}
+	for _, workers := range []int{2, 4} {
+		got, st := runOnce(workers)
+		diffFacadeReports(t, fmt.Sprintf("session ingest=%d", workers), got, want)
+		if st.Workers != workers {
+			t.Errorf("IngestStats.Workers = %d, want %d", st.Workers, workers)
+		}
+		if st.SpeculationHits+st.SpeculationFallbacks == 0 {
+			t.Errorf("workers=%d: no stores accounted by the ingest stage", workers)
+		}
+	}
+}

@@ -1,0 +1,347 @@
+// Shared read view: the race-safe concurrent read path behind the
+// ingest pipeline's speculative pre-resolvers.
+//
+// The Table proper is single-goroutine by design — its arena, chunk
+// directory and caches are mutated in place on every Insert/Remove,
+// and the hot Stab path is tuned around that freedom. Pre-resolution
+// needs concurrent readers *while the owner keeps mutating*, so
+// instead of retrofitting locks onto the hot path, the owner
+// maintains a second, reader-only projection of the live ranges built
+// entirely from immutable snapshots behind atomic pointers:
+//
+//	owner (mutator)                      pre-resolver workers
+//	Insert/Remove ──▶ COW page lists ──▶ SharedStab (lock-free)
+//	      │                 │
+//	      └── gen += 2 ─────┴──────────▶ Gen() stamps
+//
+// Every page's ref list, the huge-range list, and the chunk directory
+// are copy-on-write: a mutation builds a fresh slice/map and publishes
+// it with one atomic store, so a concurrent reader always sees *some*
+// complete snapshot and never a torn one. Readers therefore need no
+// locks and can never fault — at worst they observe a stale mix of
+// pages, which the generation protocol turns into an abandoned
+// speculation rather than a wrong answer:
+//
+//   - gen starts even. Each Insert/Remove increments it once before
+//     mutating (odd: mutation in flight) and once after (even:
+//     settled).
+//   - A reader loads gen, performs its lookups, and loads gen again.
+//     If the first load was even and the second equals it, every
+//     lookup observed the settled state of exactly that generation,
+//     and the generation number is a valid stamp for the result.
+//   - The owner accepts a speculative result only while its stamp
+//     still equals the current generation — i.e. no Insert/Remove has
+//     happened since the reader looked. Under that condition the
+//     shared view and the serial table describe the identical range
+//     set, so SharedStab's answer is exactly what Stab would return.
+//
+// Overlapping live ranges (possible only under damaged traces — see
+// Stab's walk-back) make stab answers depend on *which* containing
+// range wins, which on the serial path depends on cache history. The
+// shared view cannot reproduce cache history, so the first Insert
+// that creates an overlap sets a sticky flag and the owner stops
+// accepting speculative results for good; correctness degrades to the
+// serial path, never to a divergent answer. Ranges wider than
+// maxSpanPages are mirrored in a shared huge list; because verifying
+// them against every page they span is unbounded, such an Insert also
+// conservatively sets the sticky flag (well-formed workloads never
+// allocate a >256 MiB object, and a damaged trace that does was
+// headed for the fallback anyway).
+//
+// Zero-size ranges are transparent to Stab, so the shared view simply
+// omits them; their Insert/Remove still bumps the generation, which
+// costs at most a spurious fallback.
+package addrindex
+
+import "sync/atomic"
+
+// NoEntry is the miss sentinel for index-returning APIs (SharedStab).
+const NoEntry = noEntry
+
+// sharedRange is one live range in the reader-only projection. The
+// struct is embedded by value in immutable slices; idx is the arena
+// index the owner can dereference with At while the stamp holds.
+type sharedRange struct {
+	base uint64
+	size uint64
+	idx  int32
+}
+
+// sharedChunk holds one atomic pointer per page, each to an immutable
+// sorted-by-base slice of the ranges intersecting that page. A nil
+// pointer means no ranges.
+type sharedChunk struct {
+	pages [chunkPages]atomic.Pointer[[]sharedRange]
+}
+
+// sharedView is the reader-side state. The chunk directory itself is
+// COW (chunk creation is rare — one per fresh 2 MiB of address space);
+// the *sharedChunk values it points to are stable, their page slots
+// are the atomics that change.
+type sharedView struct {
+	gen     atomic.Uint64
+	dir     atomic.Pointer[map[uint64]*sharedChunk]
+	huge    atomic.Pointer[[]sharedRange]
+	overlap atomic.Bool
+}
+
+// EnableSharedReads switches the table into shared mode: from now on
+// every Insert and Remove additionally maintains the reader-only
+// projection and bumps the mutation generation. Existing live ranges
+// are mirrored immediately. Idempotent. Must be called by the owning
+// goroutine before any concurrent reader starts.
+func (t *Table[V]) EnableSharedReads() {
+	if t.shared != nil {
+		return
+	}
+	v := &sharedView{}
+	dir := make(map[uint64]*sharedChunk)
+	v.dir.Store(&dir)
+	t.shared = v
+	for i := range t.arena {
+		e := &t.arena[i]
+		if e.live {
+			t.sharedInsert(int32(i), e.base, e.size)
+		}
+	}
+}
+
+// SharedReads reports whether EnableSharedReads has been called.
+func (t *Table[V]) SharedReads() bool { return t.shared != nil }
+
+// Gen returns the current mutation generation. Even values mean the
+// table is settled; odd values mean a mutation is in flight. Always 0
+// before EnableSharedReads. Safe to call from any goroutine.
+func (t *Table[V]) Gen() uint64 {
+	if s := t.shared; s != nil {
+		return s.gen.Load()
+	}
+	return 0
+}
+
+// Overlapped reports whether the table has ever held two overlapping
+// live ranges since shared reads were enabled. Sticky: once set, every
+// speculative result must be rejected, because stab answers under
+// overlap depend on serial cache history that the shared view cannot
+// reproduce. Safe to call from any goroutine.
+func (t *Table[V]) Overlapped() bool {
+	if s := t.shared; s != nil {
+		return s.overlap.Load()
+	}
+	return false
+}
+
+// SharedStab resolves addr against the reader-only projection,
+// returning the arena index of the containing live range (NoEntry on
+// miss). Semantics match Stab for non-overlapping tables: half-open
+// ranges, interior addresses resolve, zero-size ranges are invisible.
+// Safe to call from any goroutine after EnableSharedReads; the result
+// is only meaningful under the generation protocol described in the
+// package comment.
+func (t *Table[V]) SharedStab(addr uint64) (int32, bool) {
+	s := t.shared
+	dir := *s.dir.Load()
+	if c := dir[addr>>PageShift>>chunkShift]; c != nil {
+		if lp := c.pages[(addr>>PageShift)&(chunkPages-1)].Load(); lp != nil {
+			refs := *lp
+			// First base > addr, then walk back over non-containing
+			// predecessors — the same shape as Stab, minus the caches.
+			lo, hi := 0, len(refs)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if refs[mid].base > addr {
+					hi = mid
+				} else {
+					lo = mid + 1
+				}
+			}
+			for pos := lo - 1; pos >= 0; pos-- {
+				r := &refs[pos]
+				if addr-r.base < r.size {
+					return r.idx, true
+				}
+			}
+		}
+	}
+	if hp := s.huge.Load(); hp != nil {
+		for _, r := range *hp {
+			if addr-r.base < r.size {
+				return r.idx, true
+			}
+		}
+	}
+	return NoEntry, false
+}
+
+// At returns the base, size and value pointer of the arena slot i, as
+// previously returned by SharedStab. Owner-only, and only valid while
+// the generation that produced i still holds — any Insert or Remove
+// may recycle or relocate the slot.
+func (t *Table[V]) At(i int32) (base, size uint64, value *V) {
+	e := &t.arena[i]
+	return e.base, e.size, &e.value
+}
+
+// Contains reports whether the arena slot i currently holds a live
+// range containing addr. Owner-only; i must be a valid index from any
+// past generation (the arena never shrinks). This is the stale-stamp
+// revalidation primitive: live ranges are disjoint, so if slot i
+// contains addr *now*, it is exactly the entry a serial Stab would
+// return now — regardless of what has been inserted, removed or
+// recycled since the speculation was made. A dead or recycled-away
+// slot fails the check (Remove zeroes the size), and a miss can never
+// be revalidated this way, because a newer insert may have claimed
+// the address.
+func (t *Table[V]) Contains(i int32, addr uint64) bool {
+	e := &t.arena[i]
+	return addr-e.base < e.size
+}
+
+// Remember records arena index i as the most recent Stab hit, exactly
+// as a successful serial Stab would. The ingest mutator calls it when
+// applying a pre-resolved store so the last-hit cache evolves
+// identically to the serial path and interleaved fallback lookups keep
+// their locality. Owner-only.
+func (t *Table[V]) Remember(i int32) { t.remember(i) }
+
+// sharedChunkFor returns the shared chunk covering page, publishing a
+// COW-extended directory if the chunk is new. Owner-only.
+func (s *sharedView) sharedChunkFor(page uint64) *sharedChunk {
+	key := page >> chunkShift
+	dir := *s.dir.Load()
+	if c := dir[key]; c != nil {
+		return c
+	}
+	// Chunk creation copies the directory — one map copy per fresh
+	// 2 MiB of address space ever touched, amortized to nothing against
+	// the per-page work of populating the chunk.
+	next := make(map[uint64]*sharedChunk, len(dir)+1)
+	for k, v := range dir {
+		next[k] = v
+	}
+	c := new(sharedChunk)
+	next[key] = c
+	s.dir.Store(&next)
+	return c
+}
+
+// rangesIntersect reports whether [base, base+size) intersects the
+// live range r, with the same end-of-address-space clamping as
+// pageRange. Both sizes must be non-zero.
+func rangesIntersect(base, size uint64, r *sharedRange) bool {
+	end := base + size - 1
+	if end < base {
+		end = ^uint64(0)
+	}
+	rend := r.base + r.size - 1
+	if rend < r.base {
+		rend = ^uint64(0)
+	}
+	return r.base <= end && base <= rend
+}
+
+// sharedInsert mirrors Insert i = [base, base+size) into the reader
+// view and performs overlap detection. Owner-only; called between the
+// generation increments.
+func (t *Table[V]) sharedInsert(i int32, base, size uint64) {
+	s := t.shared
+	if size == 0 {
+		return // invisible to Stab, nothing to mirror
+	}
+	// Any intersection with an existing huge range is an overlap.
+	if hp := s.huge.Load(); hp != nil {
+		for k := range *hp {
+			if rangesIntersect(base, size, &(*hp)[k]) {
+				s.overlap.Store(true)
+				break
+			}
+		}
+	}
+	nr := sharedRange{base: base, size: size, idx: i}
+	first, last := pageRange(base, size)
+	if last-first+1 > maxSpanPages {
+		// Mirror into the huge list; checking a 256 MiB+ range against
+		// every page it spans is unbounded, so flag conservatively.
+		s.overlap.Store(true)
+		old := s.huge.Load()
+		var next []sharedRange
+		if old != nil {
+			next = make([]sharedRange, len(*old), len(*old)+1)
+			copy(next, *old)
+		}
+		next = append(next, nr)
+		s.huge.Store(&next)
+		return
+	}
+	for p := first; ; p++ {
+		c := s.sharedChunkFor(p)
+		slot := &c.pages[p&(chunkPages-1)]
+		var refs []sharedRange
+		if lp := slot.Load(); lp != nil {
+			refs = *lp
+		}
+		pos := len(refs)
+		next := make([]sharedRange, len(refs)+1)
+		for k := range refs {
+			if !s.overlap.Load() && rangesIntersect(base, size, &refs[k]) {
+				s.overlap.Store(true)
+			}
+			if refs[k].base >= base && pos == len(refs) {
+				pos = k
+			}
+		}
+		copy(next, refs[:pos])
+		next[pos] = nr
+		copy(next[pos+1:], refs[pos:])
+		slot.Store(&next)
+		if p == last {
+			break
+		}
+	}
+}
+
+// sharedRemove mirrors the removal of arena index i, previously
+// registered over [base, base+size), out of the reader view.
+// Owner-only; called between the generation increments.
+func (t *Table[V]) sharedRemove(i int32, base, size uint64) {
+	s := t.shared
+	if size == 0 {
+		return
+	}
+	first, last := pageRange(base, size)
+	if last-first+1 > maxSpanPages {
+		old := s.huge.Load()
+		if old == nil {
+			return
+		}
+		next := make([]sharedRange, 0, len(*old))
+		for k := range *old {
+			if (*old)[k].idx != i {
+				next = append(next, (*old)[k])
+			}
+		}
+		s.huge.Store(&next)
+		return
+	}
+	dir := *s.dir.Load()
+	for p := first; ; p++ {
+		if c := dir[p>>chunkShift]; c != nil {
+			slot := &c.pages[p&(chunkPages-1)]
+			if lp := slot.Load(); lp != nil {
+				refs := *lp
+				for k := range refs {
+					if refs[k].idx == i {
+						next := make([]sharedRange, len(refs)-1)
+						copy(next, refs[:k])
+						copy(next[k:], refs[k+1:])
+						slot.Store(&next)
+						break
+					}
+				}
+			}
+		}
+		if p == last {
+			break
+		}
+	}
+}

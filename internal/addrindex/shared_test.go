@@ -1,0 +1,264 @@
+package addrindex
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestSharedStabMirrorsStab drives a table through randomized
+// insert/remove churn with shared reads enabled and, after every
+// mutation, cross-checks SharedStab against serial Stab for a spread
+// of probe addresses. With no overlapping ranges the two must agree
+// exactly — same hit/miss and same arena entry.
+func TestSharedStabMirrorsStab(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tb := New[int]()
+	tb.EnableSharedReads()
+
+	live := make(map[uint64]uint64) // base -> size
+	bases := []uint64{}
+
+	check := func() {
+		t.Helper()
+		probes := make([]uint64, 0, 64)
+		for _, b := range bases {
+			sz := live[b]
+			probes = append(probes, b, b+sz/2, b+sz, b-1)
+		}
+		for i := 0; i < 8; i++ {
+			probes = append(probes, uint64(rng.Int63()))
+		}
+		for _, addr := range probes {
+			base, size, _, ok := tb.Stab(addr)
+			idx, sok := tb.SharedStab(addr)
+			if ok != sok {
+				t.Fatalf("Stab(%#x) ok=%v but SharedStab ok=%v", addr, ok, sok)
+			}
+			if !ok {
+				continue
+			}
+			sb, ss, _ := tb.At(idx)
+			if sb != base || ss != size {
+				t.Fatalf("Stab(%#x) = [%#x,+%d) but SharedStab entry = [%#x,+%d)",
+					addr, base, size, sb, ss)
+			}
+		}
+	}
+
+	for step := 0; step < 3000; step++ {
+		if len(bases) == 0 || rng.Intn(3) != 0 {
+			// Insert a fresh non-overlapping range on a 64 KiB lattice
+			// so ranges never collide.
+			slot := uint64(rng.Intn(4096))
+			base := 0x1000_0000 + slot<<16
+			if _, taken := live[base]; taken {
+				continue
+			}
+			size := uint64(rng.Intn(1<<14) + 1)
+			tb.Insert(base, size, step)
+			live[base] = size
+			bases = append(bases, base)
+		} else {
+			k := rng.Intn(len(bases))
+			base := bases[k]
+			if _, ok := tb.Remove(base); !ok {
+				t.Fatalf("Remove(%#x) missed a live range", base)
+			}
+			delete(live, base)
+			bases[k] = bases[len(bases)-1]
+			bases = bases[:len(bases)-1]
+		}
+		if tb.Gen()%2 != 0 {
+			t.Fatalf("generation odd (%d) after settled mutation", tb.Gen())
+		}
+		if step%37 == 0 {
+			check()
+		}
+	}
+	check()
+	if tb.Overlapped() {
+		t.Fatal("overlap flag set on a disjoint workload")
+	}
+	if want := uint64(0); tb.Gen() == want {
+		t.Fatal("generation never advanced")
+	}
+}
+
+// TestSharedStabSpansAndLateEnable covers multi-page ranges, mirroring
+// of pre-existing entries at EnableSharedReads time, and zero-size
+// transparency.
+func TestSharedStabSpansAndLateEnable(t *testing.T) {
+	tb := New[string]()
+	tb.Insert(0x10000, 3*pageSize, "span") // crosses pages
+	tb.Insert(0x80000, 0, "zero")          // invisible to stabs
+	tb.Insert(0x90000, 64, "small")
+	tb.EnableSharedReads()
+
+	if idx, ok := tb.SharedStab(0x10000 + 2*pageSize + 5); !ok {
+		t.Fatal("SharedStab missed a mirrored multi-page range")
+	} else if base, size, v := tb.At(idx); base != 0x10000 || size != 3*pageSize || *v != "span" {
+		t.Fatalf("At = (%#x, %d, %q)", base, size, *v)
+	}
+	if _, ok := tb.SharedStab(0x80000); ok {
+		t.Fatal("zero-size range must stay invisible to SharedStab")
+	}
+	if _, ok := tb.SharedStab(0x90000 + 64); ok {
+		t.Fatal("one-past-end must miss")
+	}
+	if tb.Overlapped() {
+		t.Fatal("no overlap expected")
+	}
+
+	// Removal unregisters every spanned page.
+	tb.Remove(0x10000)
+	for off := uint64(0); off < 3*pageSize; off += 512 {
+		if _, ok := tb.SharedStab(0x10000 + off); ok {
+			t.Fatalf("SharedStab still hits removed range at +%d", off)
+		}
+	}
+}
+
+// TestSharedOverlapSticky: the first overlapping insert flips the
+// sticky flag, and it stays set after the overlap is removed.
+func TestSharedOverlapSticky(t *testing.T) {
+	tb := New[int]()
+	tb.EnableSharedReads()
+	tb.Insert(0x1000, 256, 1)
+	if tb.Overlapped() {
+		t.Fatal("flag set too early")
+	}
+	tb.Insert(0x1080, 256, 2) // overlaps the first
+	if !tb.Overlapped() {
+		t.Fatal("overlapping insert must set the sticky flag")
+	}
+	tb.Remove(0x1080)
+	if !tb.Overlapped() {
+		t.Fatal("flag must be sticky across removal")
+	}
+}
+
+// TestSharedHugeConservative: a range wider than maxSpanPages is
+// mirrored via the huge list and conservatively sets the overlap flag.
+func TestSharedHugeConservative(t *testing.T) {
+	tb := New[int]()
+	tb.EnableSharedReads()
+	huge := uint64(maxSpanPages+1) * pageSize
+	tb.Insert(0x4000_0000, huge, 7)
+	if !tb.Overlapped() {
+		t.Fatal("huge insert must set the conservative overlap flag")
+	}
+	if idx, ok := tb.SharedStab(0x4000_0000 + huge - 1); !ok {
+		t.Fatal("huge range must still be stabbable")
+	} else if base, size, _ := tb.At(idx); base != 0x4000_0000 || size != huge {
+		t.Fatalf("At = (%#x, %d)", base, size)
+	}
+	tb.Remove(0x4000_0000)
+	if _, ok := tb.SharedStab(0x4000_0000 + 100); ok {
+		t.Fatal("removed huge range must miss")
+	}
+}
+
+// TestSharedStabConcurrent hammers SharedStab from reader goroutines
+// while the owner churns inserts and removes, validating the
+// generation protocol end to end: any result captured under a stable
+// even generation must exactly match what the serial table said once
+// the owner observes that same generation. Run under -race this is
+// also the memory-safety proof for the COW path.
+func TestSharedStabConcurrent(t *testing.T) {
+	tb := New[int]()
+	tb.EnableSharedReads()
+
+	const nReaders = 4
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	type claim struct {
+		addr  uint64
+		stamp uint64
+		idx   int32
+		ok    bool
+	}
+	claims := make(chan claim, 1024)
+
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				addr := 0x2000_0000 + uint64(rng.Intn(512))<<12 + uint64(rng.Intn(4096))
+				g1 := tb.Gen()
+				if g1&1 != 0 {
+					continue
+				}
+				idx, ok := tb.SharedStab(addr)
+				if tb.Gen() != g1 {
+					continue
+				}
+				select {
+				case claims <- claim{addr: addr, stamp: g1, idx: idx, ok: ok}:
+				default:
+				}
+			}
+		}(int64(100 + r))
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	live := map[uint64]bool{}
+	validated := 0
+	steps := 4000
+	if testing.Short() {
+		steps = 500
+	}
+	for step := 0; step < steps; step++ {
+		base := 0x2000_0000 + uint64(rng.Intn(512))<<12
+		if live[base] {
+			tb.Remove(base)
+			delete(live, base)
+		} else {
+			tb.Insert(base, uint64(rng.Intn(4096)+1), step)
+			live[base] = true
+		}
+		// Periodically hold the table still so reader claims can land
+		// while their stamp is current — without this, a churn-every-
+		// step owner (especially on one core) goes stale before any
+		// claim is validated.
+		if step%50 == 0 {
+			for spin := 0; spin < 100 && len(claims) < 32; spin++ {
+				runtime.Gosched()
+			}
+		}
+		// Validate any claim whose stamp still matches the settled
+		// generation: the serial table must agree entry-for-entry.
+	drain:
+		for {
+			select {
+			case c := <-claims:
+				if c.stamp != tb.Gen() {
+					continue // stale speculation; would be a fallback
+				}
+				base, size, _, ok := tb.Stab(c.addr)
+				if ok != c.ok {
+					t.Fatalf("claim(%#x) ok=%v, serial ok=%v at gen %d", c.addr, c.ok, ok, c.stamp)
+				}
+				if ok {
+					sb, ss, _ := tb.At(c.idx)
+					if sb != base || ss != size {
+						t.Fatalf("claim(%#x) entry [%#x,+%d), serial [%#x,+%d)", c.addr, sb, ss, base, size)
+					}
+				}
+				validated++
+			default:
+				break drain
+			}
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if tb.Overlapped() {
+		t.Fatal("overlap flag set on a disjoint workload")
+	}
+	t.Logf("validated %d in-generation claims", validated)
+}

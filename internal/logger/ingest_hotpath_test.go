@@ -1,0 +1,115 @@
+package logger
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"heapmd/internal/event"
+)
+
+// ingestAllocBatches builds a steady-state store-only batch set over a
+// settled object population: the shape on which the pipeline must not
+// allocate at all once warm (batches come from the pool, resolutions
+// ride in place, slots and adjacency are overwrites).
+func ingestAllocBatches(n int) [][]event.Event {
+	addrs := make([]uint64, n)
+	allocs := make([]event.Event, n)
+	for i := range addrs {
+		addrs[i] = uint64(0x100_0000_0000) + uint64(i)*1024
+		allocs[i] = event.Event{Type: event.Alloc, Addr: addrs[i], Size: 512, Fn: 1}
+	}
+	batches := make([][]event.Event, 0, 64)
+	batches = append(batches, allocs)
+	for b := 0; b < 63; b++ {
+		batch := make([]event.Event, DefaultBatchSize)
+		for j := range batch {
+			i := b*DefaultBatchSize + j
+			src := addrs[(i*17)%n]
+			dst := addrs[(i*31+7)%n]
+			batch[j] = event.Event{Type: event.Store, Addr: src + uint64(i%64)*8, Value: dst}
+		}
+		batches = append(batches, batch)
+	}
+	return batches
+}
+
+// TestIngestPipelineAllocs is the allocation budget for the pipeline's
+// steady state, enforced in CI: once the pool, the channels and the
+// slot tables are warm, pushing a full batch of pointer stores through
+// producer, resolver and mutator must not allocate — under one
+// allocation per 256-event batch on average, and in practice zero.
+// A regression means a per-batch structure went back to allocating
+// (a non-pooled batch, a res slice regrown, a boxed send).
+func TestIngestPipelineAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates on the hot path")
+	}
+	// sync.Pool is emptied by GC; park it so a background cycle cannot
+	// charge a pool refill to the measurement.
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+
+	l := New(Options{Frequency: 1 << 62})
+	ing := NewIngest(l, IngestOptions{Workers: 2})
+	warm := ingestAllocBatches(4096)
+	for _, b := range warm {
+		ing.EmitBatch(b)
+	}
+	steady := warm[1:]
+	iter := 0
+	avg := testing.AllocsPerRun(200, func() {
+		ing.EmitBatch(steady[iter%len(steady)])
+		iter++
+	})
+	ing.Close()
+	if avg >= 1 {
+		t.Fatalf("ingest pipeline allocates %.2f times per %d-event batch in steady state; budget is < 1", avg, DefaultBatchSize)
+	}
+}
+
+// BenchmarkEmitBatch measures the serial batched fast path on the
+// pipeline's target shape (settled population, pointer stores): the
+// baseline the ingest stage has to beat.
+func BenchmarkEmitBatch(b *testing.B) {
+	l := New(Options{Frequency: 1 << 62})
+	batches := ingestAllocBatches(4096)
+	l.EmitBatch(batches[0]) // population
+	steady := batches[1:]
+	perBatch := len(steady[0])
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.EmitBatch(steady[i%len(steady)])
+	}
+	b.SetBytes(int64(perBatch))
+}
+
+// BenchmarkIngestEmitBatch measures the same stream through the
+// speculative pipeline at small and host-sized worker counts. On a
+// single core this is expected to lose to BenchmarkEmitBatch (the
+// stage is pure overhead there — hence ParseIngestWorkers(0) == 1);
+// the multi-core win is gated by TestParallelIngestThroughputGate.
+func BenchmarkIngestEmitBatch(b *testing.B) {
+	for _, workers := range []int{2, runtime.GOMAXPROCS(0)} {
+		if workers < 2 {
+			continue
+		}
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			l := New(Options{Frequency: 1 << 62})
+			ing := NewIngest(l, IngestOptions{Workers: workers})
+			batches := ingestAllocBatches(4096)
+			ing.EmitBatch(batches[0])
+			steady := batches[1:]
+			perBatch := len(steady[0])
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ing.EmitBatch(steady[i%len(steady)])
+			}
+			b.StopTimer()
+			ing.Close()
+			b.SetBytes(int64(perBatch))
+		})
+	}
+}

@@ -301,9 +301,55 @@ func (l *Logger) Emit(e event.Event) {
 // The batch slice is borrowed (see event.BatchSink) and fully consumed
 // before return.
 func (l *Logger) EmitBatch(batch []event.Event) {
-	for _, e := range batch {
-		l.Emit(e)
+	l.applyBatch(batch, nil)
+}
+
+// applyBatch is the batch fast path shared by EmitBatch (res == nil)
+// and the ingest mutator (res carries per-event speculative
+// resolutions). Relative to per-event Emit it hoists the bookkeeping
+// out of the inner loop: the event counter becomes one add per batch,
+// and the Frequency modulo on every Enter becomes a countdown
+// re-armed only at sampling points. Event semantics and ordering are
+// identical to Emit called in a loop.
+func (l *Logger) applyBatch(batch []event.Event, res []resolution) (hits, fallbacks uint64) {
+	l.events += uint64(len(batch))
+	frq := l.opts.Frequency
+	toNext := frq - l.fnEntries%frq
+	for i := range batch {
+		e := &batch[i]
+		switch e.Type {
+		case event.Store:
+			if res != nil {
+				if r := &res[i]; l.acceptResolution(r, e.Addr, e.Value) {
+					l.onStoreResolved(e.Addr, e.Value, r.src, r.tgt)
+					hits++
+					continue
+				}
+				fallbacks++
+			}
+			l.onStore(e.Addr, e.Value)
+		case event.Enter:
+			l.stack.Enter(e.Fn)
+			l.fnEntries++
+			if toNext--; toNext == 0 {
+				l.sample()
+				toNext = frq
+			}
+		case event.Leave:
+			l.stack.Leave()
+		case event.Alloc:
+			l.onAlloc(e.Addr, e.Size)
+		case event.Free:
+			l.onFree(e.Addr)
+		case event.Realloc:
+			l.onRealloc(e.Addr, e.Value, e.Size)
+		case event.Load:
+			// Loads do not change the heap-graph.
+		default:
+			l.health.UnknownEvents++
+		}
 	}
+	return hits, fallbacks
 }
 
 func (l *Logger) newVertex() heapgraph.VertexID {

@@ -526,6 +526,27 @@ type Stats struct {
 	// decode-worker skew; large values with an idle sink mean one slow
 	// frame (or worker) is gating delivery. Pipeline only.
 	ResequencerStalls uint64
+
+	// IngestWorkers is the ingest parallelism replay actually used: 1
+	// (or 0) for the serial in-order consumer, n ≥ 2 for a mutator plus
+	// n-1 speculative pre-resolvers (logger.Ingest). Like DecodeWorkers
+	// and the counters below it is reader-configuration accounting,
+	// filled by the replay plumbing rather than the trace reader — the
+	// heap image, reports and health are byte-identical at any setting.
+	IngestWorkers int
+	// SpeculationHits counts stores applied from an accepted
+	// pre-resolution. Ingest pipeline only.
+	SpeculationHits uint64
+	// SpeculationFallbacks counts stores the mutator applied through
+	// the serial lookup despite the pipeline (abandoned or
+	// generation-invalidated resolutions). Ingest pipeline only.
+	SpeculationFallbacks uint64
+	// PreResolveStalls counts stores a pre-resolver abandoned because a
+	// table mutation was in flight. Ingest pipeline only.
+	PreResolveStalls uint64
+	// MutatorStalls counts batches the in-order mutator had to wait on
+	// before their resolution landed. Ingest pipeline only.
+	MutatorStalls uint64
 }
 
 // shape strips the reader-configuration fields, leaving only the
@@ -537,6 +558,11 @@ func (s *Stats) shape() Stats {
 	c.DecodeWorkers = 0
 	c.ScannerStalls = 0
 	c.ResequencerStalls = 0
+	c.IngestWorkers = 0
+	c.SpeculationHits = 0
+	c.SpeculationFallbacks = 0
+	c.PreResolveStalls = 0
+	c.MutatorStalls = 0
 	return c
 }
 

@@ -39,6 +39,13 @@ type RunConfig struct {
 	// builds private state per run, so recorded training remains
 	// parallel-safe.
 	Record func(in Input, p *prog.Process) (finish func() error, err error)
+	// IngestWorkers >= 2 puts the speculative ingest stage (one
+	// in-order mutator plus IngestWorkers-1 pre-resolvers, see
+	// logger.Ingest) between each run's process and its logger; each
+	// run owns a private stage, so parallel training stays isolated.
+	// Reports are byte-identical at any setting; 0 or 1 keeps the
+	// direct path.
+	IngestWorkers int
 }
 
 // DefaultFrequency is the sampling frequency used by the experiment
@@ -63,7 +70,13 @@ func RunLogged(w Workload, in Input, cfg RunConfig) (*logger.Report, *prog.Proce
 	for _, o := range cfg.Observers {
 		l.Observe(o)
 	}
-	p.Subscribe(l)
+	var ing *logger.Ingest
+	if cfg.IngestWorkers >= 2 {
+		ing = logger.NewIngest(l, logger.IngestOptions{Workers: cfg.IngestWorkers})
+		p.Subscribe(ing)
+	} else {
+		p.Subscribe(l)
+	}
 	for _, s := range cfg.ExtraSinks {
 		p.Subscribe(s)
 	}
@@ -71,11 +84,18 @@ func RunLogged(w Workload, in Input, cfg RunConfig) (*logger.Report, *prog.Proce
 	if cfg.Record != nil {
 		f, err := cfg.Record(in, p)
 		if err != nil {
+			if ing != nil {
+				ing.Close()
+			}
 			return nil, nil, err
 		}
 		finish = f
 	}
 	err := prog.Run(func() { w.Run(p, in, cfg.Version) })
+	if ing != nil {
+		// Drain the ingest stage before Report finalizes the image.
+		ing.Close()
+	}
 	if finish != nil {
 		// A recorder flush failure only matters when the run itself was
 		// clean; a crashed run's partial trace is salvageable by design.
